@@ -1,0 +1,51 @@
+//! # tabula-baselines
+//!
+//! The approaches the paper compares Tabula against (Section V):
+//!
+//! | Paper name      | Here                                  |
+//! |-----------------|---------------------------------------|
+//! | SampleFirst     | [`SampleFirst`] (two pre-built sizes) |
+//! | SampleOnTheFly  | [`SampleOnTheFly`]                    |
+//! | POIsam          | [`PoiSam`]                            |
+//! | SnappyData      | [`SnappyLike`]                        |
+//! | FullSamCube     | `MaterializationMode::FullSamCube`    |
+//! | PartSamCube     | `MaterializationMode::PartSamCube`    |
+//! | Tabula / Tabula\* | `MaterializationMode::{Tabula, TabulaStar}` |
+//!
+//! The cube-shaped approaches reuse `tabula-core`'s builder modes; this
+//! crate implements the sampling-side baselines and the common
+//! [`Approach`] interface the benchmark harness drives.
+
+pub mod poisam;
+pub mod sample_first;
+pub mod sample_on_the_fly;
+pub mod snappy;
+
+pub use poisam::PoiSam;
+pub use sample_first::SampleFirst;
+pub use sample_on_the_fly::SampleOnTheFly;
+pub use snappy::{AvgAnswer, SnappyLike};
+
+use std::time::Duration;
+use tabula_storage::{Predicate, RowId};
+
+/// A query answer from a baseline: the sample handed to the dashboard
+/// plus the data-system time spent producing it.
+#[derive(Debug, Clone)]
+pub struct ApproachAnswer {
+    /// Sample rows (ids into the raw table).
+    pub rows: Vec<RowId>,
+    /// Wall time of query execution + any online sampling.
+    pub data_system_time: Duration,
+}
+
+/// Common interface of the tuple-returning approaches.
+pub trait Approach {
+    /// Display name.
+    fn name(&self) -> &'static str;
+    /// Bytes of pre-built state held in memory (0 for purely online
+    /// approaches).
+    fn memory_bytes(&self) -> usize;
+    /// Answer one dashboard query.
+    fn query(&self, pred: &Predicate) -> ApproachAnswer;
+}

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark: exact loss evaluation cost per built-in
+//! loss function — the dominant kernel of the dry run (fold per row) and
+//! the SamGraph join (loss_within with early exit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tabula_bench::taxi_table;
+use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
+use tabula_core::AccuracyLoss;
+use tabula_storage::RowId;
+
+fn bench_losses(c: &mut Criterion) {
+    let table = taxi_table(50_000);
+    let pickup = table.schema().index_of("pickup").unwrap();
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let tip = table.schema().index_of("tip_amount").unwrap();
+    let raw: Vec<RowId> = (0..20_000).collect();
+    let sample: Vec<RowId> = (0..20_000).step_by(40).collect(); // 500 tuples
+
+    let mut group = c.benchmark_group("loss_functions");
+
+    let heat = HeatmapLoss::new(pickup, Metric::Euclidean);
+    group.bench_function(BenchmarkId::new("exact_loss", "heatmap"), |b| {
+        b.iter(|| black_box(heat.loss(&table, &raw, &sample)))
+    });
+    let heat_ctx = heat.prepare(&table, &sample);
+    group.bench_function(BenchmarkId::new("loss_within_pass", "heatmap"), |b| {
+        b.iter(|| black_box(heat.loss_within(&table, &raw, &heat_ctx, 1.0)))
+    });
+    group.bench_function(BenchmarkId::new("loss_within_early_exit", "heatmap"), |b| {
+        b.iter(|| black_box(heat.loss_within(&table, &raw, &heat_ctx, 1e-9)))
+    });
+
+    let hist = HistogramLoss::new(fare);
+    group.bench_function(BenchmarkId::new("exact_loss", "histogram"), |b| {
+        b.iter(|| black_box(hist.loss(&table, &raw, &sample)))
+    });
+
+    let mean = MeanLoss::new(fare);
+    group.bench_function(BenchmarkId::new("exact_loss", "mean"), |b| {
+        b.iter(|| black_box(mean.loss(&table, &raw, &sample)))
+    });
+
+    let reg = RegressionLoss::new(fare, tip);
+    group.bench_function(BenchmarkId::new("exact_loss", "regression"), |b| {
+        b.iter(|| black_box(reg.loss(&table, &raw, &sample)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_losses);
+criterion_main!(benches);

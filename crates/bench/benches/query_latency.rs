@@ -1,0 +1,51 @@
+//! Criterion micro-benchmark: the dashboard-facing query path — cube-table
+//! hash lookup vs raw-table predicate scan — the gap that is the whole
+//! point of materializing samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use tabula_bench::{taxi_table, workload, SEED};
+use tabula_core::loss::MeanLoss;
+use tabula_core::SamplingCubeBuilder;
+use tabula_data::CUBED_ATTRIBUTES;
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_latency");
+    for rows in [20_000usize, 100_000] {
+        let table = taxi_table(rows);
+        let fare = table.schema().index_of("fare_amount").unwrap();
+        let cube = SamplingCubeBuilder::new(
+            Arc::clone(&table),
+            &CUBED_ATTRIBUTES[..5],
+            MeanLoss::new(fare),
+            0.05,
+        )
+        .seed(SEED)
+        .build()
+        .unwrap();
+        let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+        let queries = workload(&table, &attrs, 64);
+
+        group.bench_with_input(BenchmarkId::new("cube_lookup", rows), &rows, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(cube.query_cell(&q.cell))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("raw_scan", rows), &rows, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(q.predicate.filter(&table).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! **Figure 8** — sampling-cube initialization time, broken into the
+//! paper's three stages (dry run / real run / sample selection), as the
+//! accuracy-loss threshold θ shrinks — for the heat-map (8a), statistical
+//! mean (8b) and regression (8c) loss functions — and as the number of
+//! cubed attributes grows at fixed θ (8d, histogram loss).
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig08_init_time -- heatmap
+//! cargo run --release -p tabula-bench --bin fig08_init_time -- mean
+//! cargo run --release -p tabula-bench --bin fig08_init_time -- regression
+//! cargo run --release -p tabula-bench --bin fig08_init_time -- attrs
+//! cargo run --release -p tabula-bench --bin fig08_init_time        # all four
+//! ```
+
+use std::sync::Arc;
+use tabula_bench::{default_rows, fmt_duration, taxi_table, SEED};
+use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
+use tabula_core::{AccuracyLoss, SamplingCubeBuilder};
+use tabula_data::{meters_to_norm, CUBED_ATTRIBUTES};
+use tabula_storage::Table;
+
+fn build_and_report<L: AccuracyLoss>(
+    table: &Arc<Table>,
+    attrs: &[&str],
+    loss: L,
+    theta: f64,
+    theta_label: &str,
+) {
+    let cube = SamplingCubeBuilder::new(Arc::clone(table), attrs, loss, theta)
+        .seed(SEED)
+        .build()
+        .expect("build succeeds");
+    let s = cube.stats();
+    println!(
+        "{theta_label:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        fmt_duration(s.dry_run),
+        fmt_duration(s.real_run),
+        fmt_duration(s.selection),
+        fmt_duration(s.total),
+        s.total_cells,
+        s.iceberg_cells,
+        s.samples_after_selection,
+    );
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "theta", "dry run", "real run", "SamS", "total", "cells", "icebergs", "samples"
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let rows = default_rows();
+    let table = taxi_table(rows);
+    let attrs5: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+    println!("# Figure 8 | rows = {rows} | attributes = 5 (a–c) / 4–7 (d)");
+
+    let pickup = table.schema().index_of("pickup").unwrap();
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let tip = table.schema().index_of("tip_amount").unwrap();
+
+    if which == "all" || which == "heatmap" {
+        header("Fig 8a: init time vs θ — geospatial heatmap-aware loss");
+        for meters in [2000.0, 1000.0, 500.0, 250.0] {
+            build_and_report(
+                &table,
+                &attrs5,
+                HeatmapLoss::new(pickup, Metric::Euclidean),
+                meters_to_norm(meters),
+                &format!("{meters}m"),
+            );
+        }
+    }
+    if which == "all" || which == "mean" {
+        header("Fig 8b: init time vs θ — statistical mean loss");
+        for pct in [10.0, 5.0, 2.5, 1.0] {
+            build_and_report(
+                &table,
+                &attrs5,
+                MeanLoss::new(fare),
+                pct / 100.0,
+                &format!("{pct}%"),
+            );
+        }
+    }
+    if which == "all" || which == "regression" {
+        header("Fig 8c: init time vs θ — linear regression loss");
+        for degrees in [10.0, 5.0, 2.5, 1.0] {
+            build_and_report(
+                &table,
+                &attrs5,
+                RegressionLoss::new(fare, tip),
+                degrees,
+                &format!("{degrees}°"),
+            );
+        }
+    }
+    if which == "all" || which == "attrs" {
+        header("Fig 8d: init time vs #attributes — histogram loss, θ = $0.5");
+        for n in 4..=7 {
+            let attrs: Vec<&str> = CUBED_ATTRIBUTES[..n].to_vec();
+            build_and_report(
+                &table,
+                &attrs,
+                HistogramLoss::new(fare),
+                0.5,
+                &format!("{n} attrs"),
+            );
+        }
+    }
+}

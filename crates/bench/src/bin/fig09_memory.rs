@@ -1,0 +1,102 @@
+//! **Figure 9** — memory footprint of the materialized sampling cube
+//! (global sample / cube table / sample table) as θ shrinks, for three
+//! loss functions (9a–c) and versus the number of cubed attributes (9d);
+//! Tabula\* (no sample selection) shown alongside for the selection-win
+//! comparison the paper plots in log scale.
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig09_memory -- heatmap|mean|regression|attrs
+//! ```
+
+use std::sync::Arc;
+use tabula_bench::{default_rows, fmt_bytes, taxi_table, SEED};
+use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
+use tabula_core::{AccuracyLoss, MaterializationMode, SamplingCubeBuilder};
+use tabula_data::{meters_to_norm, CUBED_ATTRIBUTES};
+use tabula_storage::Table;
+
+fn report<L: AccuracyLoss + Clone>(
+    table: &Arc<Table>,
+    attrs: &[&str],
+    loss: L,
+    theta: f64,
+    theta_label: &str,
+) {
+    let build = |mode| {
+        SamplingCubeBuilder::new(Arc::clone(table), attrs, loss.clone(), theta)
+            .mode(mode)
+            .seed(SEED)
+            .build()
+            .expect("build succeeds")
+    };
+    let tabula = build(MaterializationMode::Tabula);
+    let star = build(MaterializationMode::TabulaStar);
+    let m = tabula.memory_breakdown();
+    let m_star = star.memory_breakdown();
+    println!(
+        "{theta_label:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        fmt_bytes(m.global_bytes),
+        fmt_bytes(m.cube_table_bytes),
+        fmt_bytes(m.sample_table_bytes),
+        fmt_bytes(m.total()),
+        fmt_bytes(m_star.total()),
+    );
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "theta", "global", "cube table", "sample tbl", "Tabula", "Tabula*"
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let rows = default_rows();
+    let table = taxi_table(rows);
+    let attrs5: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+    println!("# Figure 9 | rows = {rows}");
+
+    let pickup = table.schema().index_of("pickup").unwrap();
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let tip = table.schema().index_of("tip_amount").unwrap();
+
+    if which == "all" || which == "heatmap" {
+        header("Fig 9a: memory vs θ — geospatial heatmap-aware loss");
+        for meters in [2000.0, 1000.0, 500.0, 250.0] {
+            report(
+                &table,
+                &attrs5,
+                HeatmapLoss::new(pickup, Metric::Euclidean),
+                meters_to_norm(meters),
+                &format!("{meters}m"),
+            );
+        }
+    }
+    if which == "all" || which == "mean" {
+        header("Fig 9b: memory vs θ — statistical mean loss");
+        for pct in [10.0, 5.0, 2.5, 1.0] {
+            report(&table, &attrs5, MeanLoss::new(fare), pct / 100.0, &format!("{pct}%"));
+        }
+    }
+    if which == "all" || which == "regression" {
+        header("Fig 9c: memory vs θ — linear regression loss");
+        for degrees in [10.0, 5.0, 2.5, 1.0] {
+            report(
+                &table,
+                &attrs5,
+                RegressionLoss::new(fare, tip),
+                degrees,
+                &format!("{degrees}°"),
+            );
+        }
+    }
+    if which == "all" || which == "attrs" {
+        header("Fig 9d: memory vs #attributes — histogram loss, θ = $0.5");
+        for n in 4..=7 {
+            let attrs: Vec<&str> = CUBED_ATTRIBUTES[..n].to_vec();
+            report(&table, &attrs, HistogramLoss::new(fare), 0.5, &format!("{n} attrs"));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! **Figure 10** — cubing overhead on a *small* dataset (the paper uses
+//! 5 GB because FullSamCube / PartSamCube cannot scale to the full table):
+//! initialization time (10a) and memory footprint (10b) of Tabula vs the
+//! fully materialized sampling cube and the naively-built partially
+//! materialized cube, using the histogram-aware loss.
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig10_cubing_overhead
+//! ```
+
+use std::sync::Arc;
+use tabula_bench::{fmt_bytes, fmt_duration, taxi_table, SEED};
+use tabula_core::loss::HistogramLoss;
+use tabula_core::{MaterializationMode, SamplingCubeBuilder};
+use tabula_data::CUBED_ATTRIBUTES;
+
+fn main() {
+    // Deliberately smaller than the other figures, mirroring the paper's
+    // reduced 5 GB dataset for this comparison.
+    let rows: usize = std::env::var("TABULA_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    let table = taxi_table(rows);
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+    println!("# Figure 10 | rows = {rows} | histogram loss | 5 attributes");
+
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10} {:>10}",
+        "approach", "theta", "init", "dry", "real+SamS", "memory", "cells", "samples"
+    );
+    println!("{}", "-".repeat(92));
+    for theta in [2.0, 1.0, 0.5] {
+        for (name, mode) in [
+            ("Tabula", MaterializationMode::Tabula),
+            ("Tabula*", MaterializationMode::TabulaStar),
+            ("PartSamCube", MaterializationMode::PartSamCube),
+            ("FullSamCube", MaterializationMode::FullSamCube),
+        ] {
+            let cube = SamplingCubeBuilder::new(
+                Arc::clone(&table),
+                &attrs,
+                HistogramLoss::new(fare),
+                theta,
+            )
+            .mode(mode)
+            .seed(SEED)
+            .build()
+            .expect("build succeeds");
+            let s = cube.stats();
+            println!(
+                "{name:<14} {:>9}$ {:>10} {:>10} {:>10} {:>11} {:>10} {:>10}",
+                theta,
+                fmt_duration(s.total),
+                fmt_duration(s.dry_run),
+                fmt_duration(s.real_run + s.selection),
+                fmt_bytes(cube.memory_breakdown().total()),
+                cube.materialized_cells(),
+                cube.persisted_samples(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,37 @@
+//! **Figure 11** — performance under the geospatial heat-map-aware loss:
+//! data-system time per query (11a) and actual accuracy loss, min / avg /
+//! max (11b), for every compared approach, as θ shrinks. The paper's
+//! normalization (0.25 km ≈ 0.004) is the same one `tabula-data` uses.
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig11_heatmap_loss
+//! ```
+
+use tabula_bench::{
+    default_queries, default_rows, print_comparison, standard_comparison, taxi_table, workload,
+};
+use tabula_core::loss::{HeatmapLoss, Metric};
+use tabula_data::{meters_to_norm, CUBED_ATTRIBUTES};
+
+fn main() {
+    let rows = default_rows();
+    let table = taxi_table(rows);
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+    let queries = workload(&table, &attrs, default_queries());
+    let pickup = table.schema().index_of("pickup").unwrap();
+    println!(
+        "# Figure 11 | heatmap-aware loss | rows = {rows} | {} queries | loss unit: normalized distance (0.004 = 250m)",
+        queries.len()
+    );
+    for meters in [1000.0, 500.0, 250.0] {
+        let theta = meters_to_norm(meters);
+        let results = standard_comparison(
+            &table,
+            &attrs,
+            HeatmapLoss::new(pickup, Metric::Euclidean),
+            theta,
+            &queries,
+        );
+        print_comparison(&format!("{meters}m ({theta})"), theta, &results);
+    }
+}

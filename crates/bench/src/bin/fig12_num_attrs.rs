@@ -1,0 +1,28 @@
+//! **Figure 12** — impact of the number of cubed attributes (4–7) on
+//! data-system time (12a) and actual loss (12b), with the histogram-aware
+//! loss at θ = $0.5 (the paper's setting).
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig12_num_attrs
+//! ```
+
+use tabula_bench::{
+    default_queries, default_rows, print_comparison, standard_comparison, taxi_table, workload,
+};
+use tabula_core::loss::HistogramLoss;
+use tabula_data::CUBED_ATTRIBUTES;
+
+fn main() {
+    let rows = default_rows();
+    let table = taxi_table(rows);
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let theta = 0.5;
+    println!("# Figure 12 | histogram-aware loss, θ = $0.5 | rows = {rows} | loss unit: US dollars");
+    for n in 4..=7 {
+        let attrs: Vec<&str> = CUBED_ATTRIBUTES[..n].to_vec();
+        let queries = workload(&table, &attrs, default_queries());
+        let results =
+            standard_comparison(&table, &attrs, HistogramLoss::new(fare), theta, &queries);
+        print_comparison(&format!("$0.5, {n} attributes"), theta, &results);
+    }
+}

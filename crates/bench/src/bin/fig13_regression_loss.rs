@@ -1,0 +1,35 @@
+//! **Figure 13** — performance under the linear-regression loss: data-
+//! system time (13a) and actual loss in degrees (13b) as θ shrinks.
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig13_regression_loss
+//! ```
+
+use tabula_bench::{
+    default_queries, default_rows, print_comparison, standard_comparison, taxi_table, workload,
+};
+use tabula_core::loss::RegressionLoss;
+use tabula_data::CUBED_ATTRIBUTES;
+
+fn main() {
+    let rows = default_rows();
+    let table = taxi_table(rows);
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+    let queries = workload(&table, &attrs, default_queries());
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let tip = table.schema().index_of("tip_amount").unwrap();
+    println!(
+        "# Figure 13 | regression loss (tip vs fare) | rows = {rows} | {} queries | loss unit: degrees",
+        queries.len()
+    );
+    for degrees in [10.0, 5.0, 2.5, 1.0] {
+        let results = standard_comparison(
+            &table,
+            &attrs,
+            RegressionLoss::new(fare, tip),
+            degrees,
+            &queries,
+        );
+        print_comparison(&format!("{degrees}°"), degrees, &results);
+    }
+}

@@ -1,0 +1,70 @@
+//! **Figure 14** — performance under the statistical-mean loss: data-
+//! system time (14a) and actual loss (14b) as θ shrinks, including the
+//! SnappyData-like stratified-sampling engine (which answers AVG queries
+//! directly, with raw-table fallback when its error bound is unmet).
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fig14_mean_loss
+//! ```
+
+use tabula_baselines::SnappyLike;
+use tabula_bench::{
+    default_queries, default_rows, fmt_duration, mean_duration, print_comparison,
+    standard_comparison, taxi_table, workload, SEED,
+};
+use tabula_core::loss::MeanLoss;
+use tabula_data::CUBED_ATTRIBUTES;
+use std::sync::Arc;
+
+fn main() {
+    let rows = default_rows();
+    let table = taxi_table(rows);
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+    let queries = workload(&table, &attrs, default_queries());
+    let fare_idx = table.schema().index_of("fare_amount").unwrap();
+    let fares = table.column(fare_idx).as_f64_slice().unwrap().to_vec();
+    println!(
+        "# Figure 14 | statistical-mean loss | rows = {rows} | {} queries | loss unit: relative error",
+        queries.len()
+    );
+    for pct in [10.0, 5.0, 2.5, 1.0] {
+        let theta = pct / 100.0;
+        let results =
+            standard_comparison(&table, &attrs, MeanLoss::new(fare_idx), theta, &queries);
+        print_comparison(&format!("{pct}%"), theta, &results);
+
+        // SnappyData answers AVG directly; measure its error & fallbacks.
+        let snappy = SnappyLike::build(
+            Arc::clone(&table),
+            &attrs,
+            "fare_amount",
+            50,
+            theta,
+            SEED,
+        )
+        .expect("snappy builds");
+        let mut times = Vec::new();
+        let mut losses = Vec::new();
+        let mut fallbacks = 0usize;
+        for q in &queries {
+            let ans = snappy.query_avg(&q.predicate);
+            times.push(ans.data_system_time);
+            let raw = q.predicate.filter(&table).unwrap();
+            let exact: f64 =
+                raw.iter().map(|&r| fares[r as usize]).sum::<f64>() / raw.len() as f64;
+            losses.push(((exact - ans.avg) / exact).abs());
+            fallbacks += usize::from(ans.fell_back_to_raw);
+        }
+        let avg_loss = losses.iter().sum::<f64>() / losses.len() as f64;
+        let max_loss = losses.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<16} {:>14} {:>12} {:>12.5} {:>12.5} {:>10}",
+            "SnappyData-like",
+            fmt_duration(mean_duration(&times)),
+            "-",
+            avg_loss,
+            max_loss,
+            format!("{fallbacks} fb"),
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! Incremental cube maintenance under appends — the natural extension of
+//! the paper's system (its evaluation loads the table once; a production
+//! dashboard keeps receiving new rides).
+//!
+//! [`refresh`] brings an existing [`SamplingCube`] up to date with an
+//! *extended* table (the old rows first, in order, plus appended rows —
+//! which keeps dictionary codes stable) while reusing as much prior work
+//! as possible:
+//!
+//! * the dry run re-runs in full (it is the cheap, single-scan stage, and
+//!   the global sample is redrawn over the grown table);
+//! * iceberg cells **untouched by the appended rows** keep their old
+//!   sample: the sample was within θ of exactly the same raw data before,
+//!   so the guarantee carries over verbatim — no resampling, no data
+//!   access;
+//! * cells with appended rows, and cells that became iceberg only under
+//!   the new global sample, get fresh local samples via the normal real
+//!   run (restricted to just those cells) followed by representative
+//!   selection among the fresh samples.
+//!
+//! The result satisfies the same invariant as a from-scratch build: every
+//! query's answer is within θ of its raw answer *on the new table*.
+
+use crate::builder::MaterializationMode;
+use crate::cube::{BuildStats, SamplingCube};
+use crate::dryrun::{dry_run, DryRun};
+use crate::loss::AccuracyLoss;
+use crate::realrun::real_run;
+use crate::samgraph::{build_samgraph, SamGraphConfig};
+use crate::selection::select_representatives;
+use crate::serfling::{draw_global_sample, SerflingConfig};
+use crate::{CoreError, Result};
+use std::sync::Arc;
+use std::time::Instant;
+use tabula_storage::cube::{CellKey, CuboidMask};
+use tabula_storage::{FxHashMap, FxHashSet, RowId, Table};
+
+/// What a refresh did, for observability and tests.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshStats {
+    /// Iceberg cells that kept their previous sample untouched.
+    pub reused_cells: usize,
+    /// Iceberg cells that were (re)sampled.
+    pub resampled_cells: usize,
+    /// Previous iceberg cells that are no longer iceberg (their queries
+    /// now ride the global sample).
+    pub retired_cells: usize,
+    /// Appended rows processed.
+    pub appended_rows: usize,
+    /// Wall time of the whole refresh.
+    pub total: std::time::Duration,
+}
+
+/// Configuration of a refresh (mirrors the builder's knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshConfig {
+    /// Serfling parameters for the redrawn global sample.
+    pub serfling: SerflingConfig,
+    /// SamGraph knobs for selection among the fresh samples.
+    pub samgraph: SamGraphConfig,
+    /// Seed for the redrawn global sample.
+    pub seed: u64,
+    /// Parallelism for fresh-cell sampling (0 = all cores).
+    pub parallelism: usize,
+    /// Whether to run representative selection among fresh samples.
+    pub mode: MaterializationMode,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            serfling: SerflingConfig::default(),
+            samgraph: SamGraphConfig::default(),
+            seed: 42,
+            parallelism: 0,
+            mode: MaterializationMode::Tabula,
+        }
+    }
+}
+
+/// Refresh `cube` against `new_table`, which must be the cube's table with
+/// zero or more rows appended (same schema; old rows first, in order).
+pub fn refresh<L: AccuracyLoss>(
+    cube: &SamplingCube,
+    new_table: Arc<Table>,
+    loss: &L,
+    config: RefreshConfig,
+) -> Result<(SamplingCube, RefreshStats)> {
+    let t_total = Instant::now();
+    let old_table = cube.table();
+    if new_table.schema() != old_table.schema() {
+        return Err(CoreError::Config(
+            "refresh requires the same schema as the original table".into(),
+        ));
+    }
+    if new_table.len() < old_table.len() {
+        return Err(CoreError::Config(
+            "refresh requires an extended table (appends only)".into(),
+        ));
+    }
+    let theta = cube.theta();
+    let attrs: Vec<String> = cube.attrs().to_vec();
+    let cols: Vec<usize> = attrs
+        .iter()
+        .map(|a| new_table.schema().index_of(a))
+        .collect::<std::result::Result<_, _>>()?;
+    let n = cols.len();
+    let old_len = old_table.len() as RowId;
+    let appended: Vec<RowId> = (old_len..new_table.len() as RowId).collect();
+
+    // 1. Redraw the global sample over the grown table; full dry run.
+    let global = Arc::new(draw_global_sample(
+        &new_table,
+        config.serfling.sample_size(),
+        config.seed,
+    ));
+    let ctx = loss.prepare(&new_table, &global);
+    let dry = dry_run(&new_table, &cols, loss, &ctx, theta)?;
+
+    // 2. Which cells did the appended rows touch? (Every ancestor cell of
+    //    every appended row, across all 2ⁿ cuboids.)
+    let mut touched: FxHashSet<CellKey> = FxHashSet::default();
+    {
+        let cats: Vec<_> = cols
+            .iter()
+            .map(|&c| new_table.cat(c))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let masks = CuboidMask::enumerate(n);
+        let mut full = vec![0u32; n];
+        for &row in &appended {
+            for (slot, cat) in full.iter_mut().zip(&cats) {
+                *slot = cat.codes()[row as usize];
+            }
+            for &mask in &masks {
+                touched.insert(CellKey::project(mask, &full));
+            }
+        }
+    }
+
+    // 3. Partition the new iceberg set into reusable and fresh cells.
+    let old_cells: FxHashMap<CellKey, u32> =
+        cube.cube_table().map(|(k, v)| (k.clone(), v)).collect();
+    let mut reused: Vec<(CellKey, u32)> = Vec::new(); // cell → old sample id
+    let mut fresh: FxHashMap<CuboidMask, Vec<Vec<u32>>> = FxHashMap::default();
+    let mut new_iceberg_count = 0usize;
+    for (mask, keys) in &dry.iceberg {
+        for compact in keys {
+            new_iceberg_count += 1;
+            let cell = CellKey::from_compact(*mask, n, compact);
+            match old_cells.get(&cell) {
+                Some(&old_id) if !touched.contains(&cell) => {
+                    // Same raw data, θ-good sample: carry it over.
+                    reused.push((cell, old_id));
+                }
+                _ => fresh.entry(*mask).or_default().push(compact.clone()),
+            }
+        }
+    }
+    let retired_cells = old_cells
+        .keys()
+        .filter(|cell| {
+            dry.iceberg
+                .get(&cell.mask())
+                .is_none_or(|keys| !keys.contains(&cell.compact()))
+        })
+        .count();
+
+    // 4. Real run restricted to the fresh cells.
+    let dry_fresh = DryRun {
+        states: dry.states.clone(),
+        iceberg: fresh,
+        total_cells: dry.total_cells,
+        iceberg_count: new_iceberg_count - reused.len(),
+    };
+    let rr = real_run(&new_table, &cols, loss, theta, &dry_fresh, config.parallelism)?;
+
+    // 5. Selection among fresh samples only (reused samples stay as-is).
+    let selection = if config.mode == MaterializationMode::Tabula {
+        let graph = build_samgraph(&new_table, loss, theta, &rr.entries, &config.samgraph);
+        Some(select_representatives(&graph))
+    } else {
+        None
+    };
+
+    // 6. Assemble: old reused samples (deduplicated by old id) + fresh.
+    let mut samples: Vec<Arc<Vec<RowId>>> = Vec::new();
+    let mut cube_table: FxHashMap<CellKey, u32> = FxHashMap::default();
+    let mut old_id_map: FxHashMap<u32, u32> = FxHashMap::default();
+    for (cell, old_id) in reused.iter() {
+        let new_id = *old_id_map.entry(*old_id).or_insert_with(|| {
+            samples.push(Arc::clone(cube.sample(*old_id)));
+            (samples.len() - 1) as u32
+        });
+        cube_table.insert(cell.clone(), new_id);
+    }
+    match &selection {
+        Some(sel) => {
+            let mut rep_id: FxHashMap<u32, u32> = FxHashMap::default();
+            for &rep in &sel.representatives {
+                rep_id.insert(rep, samples.len() as u32);
+                samples.push(Arc::new(rr.entries[rep as usize].sample.clone()));
+            }
+            for (i, e) in rr.entries.iter().enumerate() {
+                cube_table.insert(e.cell.clone(), rep_id[&sel.rep_of[i]]);
+            }
+        }
+        None => {
+            for e in &rr.entries {
+                cube_table.insert(e.cell.clone(), samples.len() as u32);
+                samples.push(Arc::new(e.sample.clone()));
+            }
+        }
+    }
+
+    let stats = RefreshStats {
+        reused_cells: reused.len(),
+        resampled_cells: rr.entries.len(),
+        retired_cells,
+        appended_rows: appended.len(),
+        total: t_total.elapsed(),
+    };
+    let build_stats = BuildStats {
+        total: stats.total,
+        total_cells: dry.total_cells,
+        iceberg_cells: new_iceberg_count,
+        samples_before_selection: reused.len() + rr.entries.len(),
+        samples_after_selection: samples.len(),
+        global_sample_size: global.len(),
+        ..BuildStats::default()
+    };
+    let new_cube = SamplingCube::new(
+        new_table,
+        attrs,
+        cols,
+        theta,
+        cube_table,
+        samples,
+        global,
+        build_stats,
+    );
+    Ok((new_cube, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::MeanLoss;
+    use crate::SamplingCubeBuilder;
+    use tabula_data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+    use tabula_storage::TableBuilder;
+
+    /// Build `base` rows, then a second table extending them with `extra`
+    /// differently-seeded rows (old rows first, in order, as `refresh`
+    /// requires for stable dictionary codes).
+    fn tables(base: usize, extra: usize) -> (Arc<Table>, Arc<Table>) {
+        let old = TaxiGenerator::new(TaxiConfig { rows: base, seed: 51 }).generate();
+        let extra_rows = TaxiGenerator::new(TaxiConfig { rows: extra, seed: 52 }).generate();
+        let mut b = TableBuilder::with_capacity(old.schema().clone(), base + extra);
+        for r in 0..old.len() {
+            b.push_row(&old.row(r)).unwrap();
+        }
+        for r in 0..extra_rows.len() {
+            b.push_row(&extra_rows.row(r)).unwrap();
+        }
+        (Arc::new(old), Arc::new(b.finish()))
+    }
+
+    #[test]
+    fn refresh_preserves_the_guarantee_on_the_new_table() {
+        let (old_t, new_t) = tables(6_000, 1_500);
+        let fare = old_t.schema().index_of("fare_amount").unwrap();
+        let loss = MeanLoss::new(fare);
+        let theta = 0.05;
+        let attrs = &CUBED_ATTRIBUTES[..4];
+        let cube = SamplingCubeBuilder::new(Arc::clone(&old_t), attrs, loss.clone(), theta)
+            .seed(9)
+            .build()
+            .unwrap();
+        let (refreshed, stats) =
+            refresh(&cube, Arc::clone(&new_t), &loss, RefreshConfig::default()).unwrap();
+        assert_eq!(stats.appended_rows, 1_500);
+        assert!(stats.reused_cells > 0, "untouched cells must be reused");
+        assert!(stats.resampled_cells > 0, "touched cells must be resampled");
+
+        // The invariant on the NEW table, over a workload.
+        let workload = Workload::new(attrs);
+        for q in workload.generate(&new_t, 60, 77).unwrap() {
+            let raw = q.predicate.filter(&new_t).unwrap();
+            let ans = refreshed.query_cell(&q.cell);
+            let achieved = loss.loss(&new_t, &raw, &ans.rows);
+            assert!(
+                achieved <= theta + 1e-9,
+                "query [{}]: {achieved} > {theta}",
+                q.description
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_equals_rebuild_semantically() {
+        let (old_t, new_t) = tables(4_000, 1_000);
+        let fare = old_t.schema().index_of("fare_amount").unwrap();
+        let loss = MeanLoss::new(fare);
+        let theta = 0.05;
+        let attrs = &CUBED_ATTRIBUTES[..3];
+        let cube = SamplingCubeBuilder::new(Arc::clone(&old_t), attrs, loss.clone(), theta)
+            .seed(9)
+            .build()
+            .unwrap();
+        let (refreshed, _) = refresh(
+            &cube,
+            Arc::clone(&new_t),
+            &loss,
+            RefreshConfig { seed: 9, ..Default::default() },
+        )
+        .unwrap();
+        let rebuilt = SamplingCubeBuilder::new(Arc::clone(&new_t), attrs, loss.clone(), theta)
+            .seed(9)
+            .build()
+            .unwrap();
+        // Same iceberg cell set (the dry run is identical).
+        let mut a: Vec<_> = refreshed.cube_table().map(|(k, _)| k.clone()).collect();
+        let mut b: Vec<_> = rebuilt.cube_table().map(|(k, _)| k.clone()).collect();
+        a.sort_by(|x, y| x.codes.cmp(&y.codes));
+        b.sort_by(|x, y| x.codes.cmp(&y.codes));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_appends_reuses_everything_it_can() {
+        let old_t = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 5_000, seed: 51 }).generate());
+        let fare = old_t.schema().index_of("fare_amount").unwrap();
+        let loss = MeanLoss::new(fare);
+        let cube = SamplingCubeBuilder::new(
+            Arc::clone(&old_t),
+            &CUBED_ATTRIBUTES[..3],
+            loss.clone(),
+            0.05,
+        )
+        .seed(9)
+        .build()
+        .unwrap();
+        let (refreshed, stats) = refresh(
+            &cube,
+            Arc::clone(&old_t),
+            &loss,
+            RefreshConfig { seed: 9, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(stats.appended_rows, 0);
+        assert_eq!(stats.resampled_cells, 0, "nothing was touched");
+        assert_eq!(stats.retired_cells, 0);
+        assert_eq!(refreshed.materialized_cells(), cube.materialized_cells());
+    }
+
+    #[test]
+    fn shrunken_or_mismatched_tables_are_rejected() {
+        let (old_t, new_t) = tables(3_000, 500);
+        let fare = old_t.schema().index_of("fare_amount").unwrap();
+        let loss = MeanLoss::new(fare);
+        let cube = SamplingCubeBuilder::new(
+            Arc::clone(&new_t),
+            &CUBED_ATTRIBUTES[..3],
+            loss.clone(),
+            0.05,
+        )
+        .build()
+        .unwrap();
+        // new (old_t) is SHORTER than the cube's table (new_t): rejected.
+        assert!(matches!(
+            refresh(&cube, Arc::clone(&old_t), &loss, RefreshConfig::default()),
+            Err(CoreError::Config(_))
+        ));
+    }
+}

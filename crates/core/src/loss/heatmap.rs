@@ -1,0 +1,281 @@
+//! Function 2 of the paper: the geospatial visualization-aware loss
+//! `(1/|Raw|) Σ_{x∈Raw} min_{s∈Sam} dist(x, s)` — the average distance
+//! from each raw point to its nearest sample point. Samples with low loss
+//! produce heat maps visually indistinguishable from the raw data's
+//! (VAS / POIsam's objective).
+
+use super::index::GridIndex;
+use super::AccuracyLoss;
+use crate::sampling::{coverage_greedy, CoverageSpace};
+use tabula_storage::agg::SumCount;
+use tabula_storage::{Point, RowId, Table};
+
+/// Pairwise distance metric used between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+}
+
+impl Metric {
+    /// Distance between two points under this metric.
+    #[inline]
+    pub fn dist(self, a: &Point, b: &Point) -> f64 {
+        match self {
+            Metric::Euclidean => a.euclidean(b),
+            Metric::Manhattan => a.manhattan(b),
+        }
+    }
+}
+
+/// Geospatial heat-map accuracy loss over one point-typed attribute.
+#[derive(Debug, Clone)]
+pub struct HeatmapLoss {
+    point_col: usize,
+    metric: Metric,
+}
+
+impl HeatmapLoss {
+    /// Loss over the `Point` column at index `point_col`.
+    pub fn new(point_col: usize, metric: Metric) -> Self {
+        HeatmapLoss { point_col, metric }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    #[inline]
+    fn point(&self, table: &Table, row: RowId) -> Point {
+        table
+            .column(self.point_col)
+            .as_point_slice()
+            .expect("HeatmapLoss target attribute must be a Point column")[row as usize]
+    }
+}
+
+/// Sample context: a nearest-neighbour index over the sample's points.
+pub struct HeatmapCtx {
+    index: GridIndex,
+    metric: Metric,
+}
+
+impl HeatmapCtx {
+    #[inline]
+    fn nearest(&self, q: &Point) -> f64 {
+        match self.metric {
+            Metric::Euclidean => self.index.nearest_dist(q),
+            Metric::Manhattan => self.index.nearest_dist_manhattan(q),
+        }
+    }
+}
+
+impl AccuracyLoss for HeatmapLoss {
+    /// Sum and count of per-row min distances to the fixed sample.
+    type State = SumCount;
+    type SampleCtx = HeatmapCtx;
+
+    fn name(&self) -> &'static str {
+        "heatmap_avg_min_dist"
+    }
+
+    fn state_depends_on_sample(&self) -> bool {
+        true
+    }
+
+    fn prepare(&self, table: &Table, sample: &[RowId]) -> HeatmapCtx {
+        let points: Vec<Point> = sample.iter().map(|&r| self.point(table, r)).collect();
+        HeatmapCtx { index: GridIndex::build(points), metric: self.metric }
+    }
+
+    fn fold(&self, ctx: &HeatmapCtx, state: &mut SumCount, table: &Table, row: RowId) {
+        let p = self.point(table, row);
+        state.add(ctx.nearest(&p));
+    }
+
+    fn finish(&self, _ctx: &HeatmapCtx, state: &SumCount) -> f64 {
+        state.mean().unwrap_or(0.0)
+    }
+
+    fn loss_within(
+        &self,
+        table: &Table,
+        raw: &[RowId],
+        ctx: &HeatmapCtx,
+        bound: f64,
+    ) -> Option<f64> {
+        if raw.is_empty() {
+            return Some(0.0);
+        }
+        // Early exit: contributions are non-negative, so once the running
+        // sum exceeds bound·|raw| the final average must exceed the bound.
+        let budget = bound * raw.len() as f64;
+        let mut sum = 0.0;
+        for &r in raw {
+            sum += ctx.nearest(&self.point(table, r));
+            if sum > budget {
+                return None;
+            }
+        }
+        Some(sum / raw.len() as f64)
+    }
+
+    fn signature(&self, table: &Table, rows: &[RowId]) -> [f64; 2] {
+        // Centroid of the set's points.
+        if rows.is_empty() {
+            return [0.0, 0.0];
+        }
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for &r in rows {
+            let p = self.point(table, r);
+            sx += p.x;
+            sy += p.y;
+        }
+        let n = rows.len() as f64;
+        [sx / n, sy / n]
+    }
+
+    fn sample_greedy(&self, table: &Table, raw: &[RowId], theta: f64) -> Vec<RowId> {
+        let points: Vec<Point> = raw.iter().map(|&r| self.point(table, r)).collect();
+        let metric = self.metric;
+        let picked = coverage_greedy(&PointSpace { points, metric }, theta);
+        picked.into_iter().map(|i| raw[i]).collect()
+    }
+}
+
+/// Coverage space over 2-D points for the lazy-forward greedy engine.
+struct PointSpace {
+    points: Vec<Point>,
+    metric: Metric,
+}
+
+impl CoverageSpace for PointSpace {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.metric.dist(&self.points[a], &self.points[b])
+    }
+
+    fn center_element(&self) -> usize {
+        // The point nearest the centroid seeds the greedy sample.
+        let n = self.points.len() as f64;
+        let cx = self.points.iter().map(|p| p.x).sum::<f64>() / n;
+        let cy = self.points.iter().map(|p| p.y).sum::<f64>() / n;
+        let c = Point::new(cx, cy);
+        let mut best = (f64::INFINITY, 0);
+        for (i, p) in self.points.iter().enumerate() {
+            let d = self.metric.dist(p, &c);
+            if d < best.0 {
+                best = (d, i);
+            }
+        }
+        best.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tabula_storage::{ColumnType, Field, Schema, TableBuilder};
+
+    fn table(points: &[(f64, f64)]) -> Table {
+        let schema = Schema::new(vec![Field::new("p", ColumnType::Point)]);
+        let mut b = TableBuilder::new(schema);
+        for &(x, y) in points {
+            b.push_row(&[Point::new(x, y).into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn exact_loss_small_case() {
+        // Raw: 4 corners of a unit square; sample: one corner.
+        let t = table(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]);
+        let loss = HeatmapLoss::new(0, Metric::Euclidean);
+        let all: Vec<RowId> = t.all_rows();
+        let expected = (0.0 + 1.0 + 1.0 + 2f64.sqrt()) / 4.0;
+        assert!((loss.loss(&t, &all, &[0]) - expected).abs() < 1e-12);
+        // Manhattan: (0 + 1 + 1 + 2) / 4.
+        let l1 = HeatmapLoss::new(0, Metric::Manhattan);
+        assert!((l1.loss(&t, &all, &[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_within_early_exit_consistency() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts: Vec<(f64, f64)> =
+            (0..300).map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))).collect();
+        let t = table(&pts);
+        let loss = HeatmapLoss::new(0, Metric::Euclidean);
+        let all: Vec<RowId> = t.all_rows();
+        let sample: Vec<RowId> = (0..20).collect();
+        let exact = loss.loss(&t, &all, &sample);
+        let ctx = loss.prepare(&t, &sample);
+        assert!(loss.loss_within(&t, &all, &ctx, exact * 1.001).is_some());
+        assert!(loss.loss_within(&t, &all, &ctx, exact * 0.999).is_none());
+    }
+
+    #[test]
+    fn greedy_covers_clusters() {
+        // Two tight clusters: a sample meeting a tight threshold must take
+        // at least one point from each.
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push((0.1 + (i as f64) * 1e-4, 0.1));
+            pts.push((0.9 + (i as f64) * 1e-4, 0.9));
+        }
+        let t = table(&pts);
+        let loss = HeatmapLoss::new(0, Metric::Euclidean);
+        let all: Vec<RowId> = t.all_rows();
+        let sample = loss.sample_greedy(&t, &all, 0.01);
+        let achieved = loss.loss(&t, &all, &sample);
+        assert!(achieved <= 0.01);
+        let pickups = t.column(0).as_point_slice().unwrap();
+        let near = |c: (f64, f64)| {
+            sample
+                .iter()
+                .any(|&r| pickups[r as usize].euclidean(&Point::new(c.0, c.1)) < 0.1)
+        };
+        assert!(near((0.1, 0.1)) && near((0.9, 0.9)));
+        // Far fewer sample points than raw points.
+        assert!(sample.len() < all.len() / 2);
+    }
+
+    #[test]
+    fn greedy_matches_threshold_on_random_data() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<(f64, f64)> =
+            (0..500).map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))).collect();
+        let t = table(&pts);
+        let all: Vec<RowId> = t.all_rows();
+        for metric in [Metric::Euclidean, Metric::Manhattan] {
+            let loss = HeatmapLoss::new(0, metric);
+            for theta in [0.2, 0.05, 0.02] {
+                let sample = loss.sample_greedy(&t, &all, theta);
+                let achieved = loss.loss(&t, &all, &sample);
+                assert!(achieved <= theta + 1e-12, "{metric:?} θ={theta}: {achieved}");
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_threshold_needs_more_samples() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pts: Vec<(f64, f64)> =
+            (0..400).map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))).collect();
+        let t = table(&pts);
+        let loss = HeatmapLoss::new(0, Metric::Euclidean);
+        let all: Vec<RowId> = t.all_rows();
+        let loose = loss.sample_greedy(&t, &all, 0.2).len();
+        let tight = loss.sample_greedy(&t, &all, 0.02).len();
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Stage 2 of sampling-cube initialization: the **real run** (paper
+//! §III-B2, Algorithm 2) — materialize a local sample for every iceberg
+//! cell found by the dry run.
+//!
+//! Non-iceberg cuboids are skipped outright. For each iceberg cuboid the
+//! paper's cost model (Inequality 1) chooses between two plans for
+//! fetching the cells' raw data:
+//!
+//! * **prune-then-group** — equi-join the raw table against the cuboid's
+//!   iceberg-cell list, then group only the surviving rows (wins when the
+//!   cuboid has few iceberg cells);
+//! * **group-everything** — a plain full-table group-by.
+//!
+//! Local samples are then drawn per cell with the accuracy-loss-aware
+//! greedy sampler, parallelized across cells (the per-cell work is
+//! embarrassingly parallel).
+
+use crate::dryrun::DryRun;
+use crate::loss::AccuracyLoss;
+use crate::Result;
+use tabula_storage::cube::{CellKey, CuboidMask};
+use tabula_storage::group::group_rows;
+use tabula_storage::join::semi_join as semi_join_rows;
+use tabula_storage::{group_by, FxHashSet, RowId, Table};
+
+/// One materialized iceberg cell: the paper's cube-table row, carrying the
+/// cell's raw data (needed later by the SamGraph join) and its local
+/// sample.
+#[derive(Debug, Clone)]
+pub struct CubeEntry {
+    /// The cell.
+    pub cell: CellKey,
+    /// Row ids of the cell's raw data.
+    pub rows: Vec<RowId>,
+    /// Row ids of the cell's local sample (⊆ `rows`).
+    pub sample: Vec<RowId>,
+}
+
+/// Which plan Algorithm 2's cost model chose for a cuboid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CuboidPlan {
+    /// Equi-join against the iceberg-cell list, then group.
+    PruneThenGroup,
+    /// Full-table group-by.
+    GroupAll,
+}
+
+/// Statistics of a real run.
+#[derive(Debug, Clone, Default)]
+pub struct RealRunStats {
+    /// Cuboids that contained iceberg cells and were processed.
+    pub cuboids_processed: usize,
+    /// Cuboids skipped because the dry run found no icebergs in them.
+    pub cuboids_skipped: usize,
+    /// How many processed cuboids took the prune-then-group plan.
+    pub prune_plans: usize,
+    /// How many took the full group-by plan.
+    pub group_all_plans: usize,
+}
+
+/// Output of the real run.
+#[derive(Debug)]
+pub struct RealRun {
+    /// Materialized iceberg cells, in deterministic order.
+    pub entries: Vec<CubeEntry>,
+    /// Plan statistics.
+    pub stats: RealRunStats,
+}
+
+/// The paper's Inequality 1. `n` = table cardinality, `i` = iceberg cells
+/// in the cuboid, `k` = all cells in the cuboid. Returns the chosen plan.
+pub fn choose_plan(n: usize, i: usize, k: usize) -> CuboidPlan {
+    // Degenerate cuboids (k < 2) leave log_k undefined; a full group-by of
+    // one group is trivially right.
+    if k < 2 || i == 0 {
+        return CuboidPlan::GroupAll;
+    }
+    let (n, i, k) = (n as f64, i as f64, k as f64);
+    let log_k = |x: f64| x.max(1.0).ln() / k.ln();
+    let pruned_rows = (i / k) * n; // expected rows surviving the prune
+    let cost_prune = n * i + pruned_rows * log_k(pruned_rows);
+    let cost_group_all = n * log_k(n);
+    if cost_prune < cost_group_all {
+        CuboidPlan::PruneThenGroup
+    } else {
+        CuboidPlan::GroupAll
+    }
+}
+
+/// Run the real-run stage: materialize local samples for every iceberg
+/// cell of `dry`, drawing them with `loss`'s Algorithm-1 sampler.
+///
+/// `parallelism` caps the worker threads used for per-cell sampling
+/// (0 = number of available cores).
+pub fn real_run<L: AccuracyLoss>(
+    table: &Table,
+    cols: &[usize],
+    loss: &L,
+    theta: f64,
+    dry: &DryRun<L::State>,
+    parallelism: usize,
+) -> Result<RealRun> {
+    let mut stats = RealRunStats::default();
+    let n_cuboids = dry.states.cuboids.len();
+    // Deterministic cuboid order: finest first, then by mask.
+    let mut masks: Vec<CuboidMask> = dry.iceberg.keys().copied().collect();
+    masks.sort_by_key(|m| (std::cmp::Reverse(m.arity()), *m));
+    stats.cuboids_skipped = n_cuboids - masks.len();
+
+    // Phase 1 (sequential, data-system work): fetch each iceberg cell's
+    // raw rows, with the per-cuboid plan chosen by the cost model.
+    let mut work: Vec<(CellKey, Vec<RowId>)> = Vec::with_capacity(dry.iceberg_count);
+    for mask in masks {
+        let iceberg_keys = &dry.iceberg[&mask];
+        let attrs: Vec<usize> = mask.attrs().iter().map(|&a| cols[a]).collect();
+        let k_cells = dry.states.cuboids[&mask].len();
+        let plan = choose_plan(table.len(), iceberg_keys.len(), k_cells);
+        stats.cuboids_processed += 1;
+        let iceberg_set: FxHashSet<Vec<u32>> = iceberg_keys.iter().cloned().collect();
+        let grouped = match plan {
+            CuboidPlan::PruneThenGroup => {
+                stats.prune_plans += 1;
+                let rows = semi_join_rows(table, &attrs, &iceberg_set)?;
+                group_rows(table, &attrs, &rows)?
+            }
+            CuboidPlan::GroupAll => {
+                stats.group_all_plans += 1;
+                group_by(table, &attrs)?
+            }
+        };
+        let n_attrs = cols.len();
+        let mut cells: Vec<(Vec<u32>, Vec<RowId>)> = grouped
+            .groups
+            .into_iter()
+            .filter(|(key, _)| iceberg_set.contains(key))
+            .collect();
+        cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (compact, rows) in cells {
+            work.push((CellKey::from_compact(mask, n_attrs, &compact), rows));
+        }
+    }
+
+    // Phase 2 (parallel): draw a local sample per iceberg cell.
+    let threads = if parallelism == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        parallelism
+    };
+    let entries = sample_cells(table, loss, theta, work, threads);
+    Ok(RealRun { entries, stats })
+}
+
+/// Draw local samples for `work` across `threads` workers, preserving
+/// input order in the output.
+fn sample_cells<L: AccuracyLoss>(
+    table: &Table,
+    loss: &L,
+    theta: f64,
+    work: Vec<(CellKey, Vec<RowId>)>,
+    threads: usize,
+) -> Vec<CubeEntry> {
+    if work.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(work.len());
+    if threads == 1 {
+        return work
+            .into_iter()
+            .map(|(cell, rows)| {
+                let sample = loss.sample_greedy(table, &rows, theta);
+                CubeEntry { cell, rows, sample }
+            })
+            .collect();
+    }
+    let mut out: Vec<Option<CubeEntry>> = Vec::new();
+    out.resize_with(work.len(), || None);
+    let out_slices = split_into_parts(&mut out, threads);
+    let work_parts = split_vec_into_parts(work, threads);
+    crossbeam::scope(|scope| {
+        for (out_part, work_part) in out_slices.into_iter().zip(work_parts) {
+            scope.spawn(move |_| {
+                for (slot, (cell, rows)) in out_part.iter_mut().zip(work_part) {
+                    let sample = loss.sample_greedy(table, &rows, theta);
+                    *slot = Some(CubeEntry { cell, rows, sample });
+                }
+            });
+        }
+    })
+    .expect("sampling workers do not panic");
+    out.into_iter().map(|e| e.expect("every slot filled")).collect()
+}
+
+/// Split a mutable slice into `parts` contiguous chunks of near-equal size.
+fn split_into_parts<T>(slice: &mut [T], parts: usize) -> Vec<&mut [T]> {
+    let len = slice.len();
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = slice;
+    for i in 0..parts {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Split an owned vec into `parts` contiguous chunks matching
+/// [`split_into_parts`]'s sizing.
+fn split_vec_into_parts<T>(v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = v.len();
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = v;
+    for i in 0..parts {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take);
+        out.push(rest);
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dryrun::dry_run;
+    use crate::loss::{HeatmapLoss, MeanLoss, Metric};
+    use crate::serfling::draw_global_sample;
+    use tabula_data::example_dcm_table;
+
+    #[test]
+    fn cost_model_prefers_prune_for_few_icebergs() {
+        // A single iceberg cell in a wide cuboid: join wins. (The paper's
+        // literal cost model prices the join at N·i, so prune only wins
+        // for very small i relative to log_k(N).)
+        assert_eq!(choose_plan(1_000_000, 1, 5_000), CuboidPlan::PruneThenGroup);
+        // Most cells iceberg: group-all wins (the N·i term explodes).
+        assert_eq!(choose_plan(1_000_000, 4_000, 5_000), CuboidPlan::GroupAll);
+        // Degenerate cuboid.
+        assert_eq!(choose_plan(100, 1, 1), CuboidPlan::GroupAll);
+    }
+
+    fn build(theta: f64) -> (tabula_storage::Table, Vec<CubeEntry>, RealRunStats) {
+        let t = example_dcm_table();
+        let fare = t.schema().index_of("fare").unwrap();
+        let loss = MeanLoss::new(fare);
+        let global = draw_global_sample(&t, 8, 1);
+        let ctx = loss.prepare(&t, &global);
+        let dry = dry_run(&t, &[0, 1, 2], &loss, &ctx, theta).unwrap();
+        let rr = real_run(&t, &[0, 1, 2], &loss, theta, &dry, 2).unwrap();
+        (t, rr.entries, rr.stats)
+    }
+
+    #[test]
+    fn every_iceberg_cell_gets_a_sample_meeting_theta() {
+        let theta = 0.10;
+        let (t, entries, stats) = build(theta);
+        assert!(!entries.is_empty());
+        assert_eq!(stats.cuboids_processed + stats.cuboids_skipped, 8);
+        let fare = t.schema().index_of("fare").unwrap();
+        let loss = MeanLoss::new(fare);
+        for e in &entries {
+            assert!(!e.rows.is_empty());
+            assert!(!e.sample.is_empty());
+            // Sample rows are a subset of the cell's rows.
+            assert!(e.sample.iter().all(|r| e.rows.contains(r)));
+            let achieved = loss.loss(&t, &e.rows, &e.sample);
+            assert!(achieved <= theta + 1e-12, "cell {}: {achieved}", e.cell);
+        }
+    }
+
+    #[test]
+    fn entry_rows_match_direct_filtering() {
+        let (t, entries, _) = build(0.10);
+        for e in &entries {
+            // Reconstruct the cell's rows by scanning the whole table.
+            let cats: Vec<_> = (0..3).map(|c| t.cat(c).unwrap()).collect();
+            let expect: Vec<RowId> = (0..t.len() as RowId)
+                .filter(|&r| {
+                    e.cell.codes.iter().zip(&cats).all(|(code, cat)| {
+                        code.is_none_or(|c| cat.codes()[r as usize] == c)
+                    })
+                })
+                .collect();
+            let mut got = e.rows.clone();
+            got.sort_unstable();
+            assert_eq!(got, expect, "cell {}", e.cell);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_sampling_agree() {
+        let t = example_dcm_table();
+        let pickup = t.schema().index_of("pickup").unwrap();
+        let loss = HeatmapLoss::new(pickup, Metric::Euclidean);
+        let global = draw_global_sample(&t, 5, 3);
+        let ctx = loss.prepare(&t, &global);
+        let dry = dry_run(&t, &[0, 1, 2], &loss, &ctx, 0.02).unwrap();
+        let serial = real_run(&t, &[0, 1, 2], &loss, 0.02, &dry, 1).unwrap();
+        let parallel = real_run(&t, &[0, 1, 2], &loss, 0.02, &dry, 4).unwrap();
+        assert_eq!(serial.entries.len(), parallel.entries.len());
+        for (a, b) in serial.entries.iter().zip(&parallel.entries) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.sample, b.sample);
+        }
+    }
+
+    #[test]
+    fn no_icebergs_means_no_entries() {
+        let (_, entries, stats) = build(f64::INFINITY);
+        assert!(entries.is_empty());
+        assert_eq!(stats.cuboids_processed, 0);
+        assert_eq!(stats.cuboids_skipped, 8);
+    }
+
+    #[test]
+    fn split_helpers_cover_everything_in_order() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let parts = split_into_parts(&mut data, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2, 3]);
+        assert_eq!(parts[1], &[4, 5, 6]);
+        assert_eq!(parts[2], &[7, 8, 9]);
+        let owned = split_vec_into_parts((0..10u32).collect(), 3);
+        assert_eq!(owned[0], vec![0, 1, 2, 3]);
+        assert_eq!(owned[1], vec![4, 5, 6]);
+        assert_eq!(owned[2], vec![7, 8, 9]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tabula-data
+//!
+//! Synthetic data and workloads for the Tabula reproduction.
+//!
+//! The paper evaluates on the 700 M-row NYC taxi-trip table. That table is
+//! not shipped here, so [`taxi`] provides a seeded generator producing the
+//! same relational shape at configurable scale: the seven categorical
+//! attributes used in the paper's experiments, the fare/tip/distance
+//! measures, and a pickup location drawn from a mixture of spatial clusters
+//! (Manhattan, the airports, diffuse outer boroughs) whose mixture weights
+//! are *conditioned on the categorical attributes*. That conditioning is
+//! what makes sub-populations deviate from the global distribution and
+//! therefore produces iceberg cells — the phenomenon the whole system is
+//! built around.
+//!
+//! [`workload`] draws the "100 random SQL queries (cells)" analytics
+//! workload of Section V, and [`mini`] rebuilds the paper's tiny running
+//! example (trip distance D, passenger count C, payment method M) used by
+//! Table I / Figure 5 illustrations and many unit tests.
+
+pub mod csv;
+pub mod mini;
+pub mod taxi;
+pub mod workload;
+
+pub use csv::{read_table, write_table, CsvError};
+pub use mini::example_dcm_table;
+pub use taxi::{meters_to_norm, norm_to_meters, TaxiConfig, TaxiGenerator, CUBED_ATTRIBUTES, EXTENT_KM};
+pub use workload::{QueryCell, Workload};

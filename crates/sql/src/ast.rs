@@ -1,0 +1,101 @@
+//! Abstract syntax of the Tabula SQL dialect.
+
+use tabula_core::loss::expr::Expr;
+use tabula_storage::{CmpOp, Value};
+
+/// Reference to a loss function in a `HAVING` clause: the function's
+/// registered name plus the target attribute(s) it measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRef {
+    /// Registered loss-function name.
+    pub name: String,
+    /// Target attributes (one for mean/heat-map/histogram losses, two —
+    /// x then y — for the regression loss).
+    pub target_attrs: Vec<String>,
+}
+
+/// One `column <op> literal` WHERE term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereTerm {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal.
+    pub value: Value,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE <name> AS SELECT <attrs>, SAMPLING(*, θ) AS sample
+    /// FROM <source> GROUPBY CUBE(<attrs>) HAVING <loss>(<attr>,
+    /// Sam_global) > θ` — sampling-cube initialization (paper Query 1).
+    CreateCube {
+        /// Name of the cube being created.
+        name: String,
+        /// Source table.
+        source: String,
+        /// Cubed attributes (must match the SELECT list and CUBE list).
+        cubed_attrs: Vec<String>,
+        /// Accuracy-loss threshold θ.
+        theta: f64,
+        /// The HAVING clause's loss reference.
+        loss: LossRef,
+    },
+    /// `CREATE AGGREGATE <name>(Raw, Sam) RETURN decimal_value AS BEGIN
+    /// <expr> END` — user-defined accuracy loss declaration.
+    CreateAggregate {
+        /// Loss-function name being declared.
+        name: String,
+        /// The scalar-expression body.
+        body: Expr,
+    },
+    /// `SELECT sample FROM <cube> WHERE ...` — dashboard query (paper
+    /// Query 2).
+    SelectSample {
+        /// Cube name.
+        cube: String,
+        /// Equality conditions over cubed attributes.
+        conditions: Vec<WhereTerm>,
+    },
+    /// `SELECT * FROM <table> WHERE ...` — plain scan over a raw table
+    /// (used by baselines and for debugging).
+    SelectRaw {
+        /// Table name.
+        table: String,
+        /// Filter conditions (empty = all rows).
+        conditions: Vec<WhereTerm>,
+    },
+    /// `DROP CUBE <name>` / `DROP AGGREGATE <name>` — remove an object.
+    Drop {
+        /// `"CUBE"` or `"AGGREGATE"`.
+        kind: DropKind,
+        /// Object name.
+        name: String,
+    },
+    /// `SHOW CUBES` / `SHOW TABLES` / `SHOW AGGREGATES` — list objects.
+    Show(ShowKind),
+    /// `EXPLAIN CUBE <name>` — the cube's build statistics and layout.
+    ExplainCube(String),
+}
+
+/// What a `DROP` statement removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// A sampling cube.
+    Cube,
+    /// A user-declared loss aggregate.
+    Aggregate,
+}
+
+/// What a `SHOW` statement lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShowKind {
+    /// Built sampling cubes.
+    Cubes,
+    /// Registered raw tables.
+    Tables,
+    /// Registered loss functions.
+    Aggregates,
+}

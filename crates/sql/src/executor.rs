@@ -1,0 +1,575 @@
+//! Statement execution: binds the parsed dialect to `tabula-core`.
+
+use crate::ast::{DropKind, ShowKind, Statement, WhereTerm};
+use crate::parser::parse;
+use crate::{Result, SqlError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tabula_core::cube::{BuildStats, SampleProvenance, SamplingCube};
+use tabula_core::loss::expr::{Expr, ExprLoss};
+use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
+use tabula_core::{MaterializationMode, SamplingCubeBuilder, SerflingConfig};
+use tabula_storage::{Predicate, Table};
+
+/// How a registered loss function binds to target attributes at cube
+/// build time.
+#[derive(Debug, Clone)]
+enum LossDecl {
+    /// Built-in Function 1 (statistical mean; one numeric attribute).
+    Mean,
+    /// Built-in Function 2 (heat map; one point attribute).
+    Heatmap(Metric),
+    /// Built-in histogram variant (one numeric attribute).
+    Histogram,
+    /// Built-in Function 3 (regression; two numeric attributes, x then y).
+    Regression,
+    /// User-declared scalar expression (one numeric attribute).
+    UserExpr(Expr),
+}
+
+/// Result of executing a statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// Rows of a raw-table scan.
+    Table(Table),
+    /// A sample returned by a cube (paper Query 2), with provenance.
+    Sample {
+        /// The materialized sample tuples.
+        table: Table,
+        /// Whether the sample was local, global, or empty-domain.
+        provenance: SampleProvenance,
+    },
+    /// A sampling cube was initialized.
+    CubeCreated {
+        /// Cube name.
+        name: String,
+        /// Build statistics.
+        stats: BuildStats,
+    },
+    /// A user loss function was registered.
+    AggregateCreated(String),
+    /// An object was dropped.
+    Dropped(String),
+    /// Informational lines (`SHOW ...`, `EXPLAIN CUBE ...`).
+    Info(Vec<String>),
+}
+
+impl QueryResult {
+    /// Row count of the result, when it carries rows.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Table(t) => t.len(),
+            QueryResult::Sample { table, .. } => table.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the result carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A SQL session: named tables, registered loss functions, built cubes.
+pub struct Session {
+    tables: HashMap<String, Arc<Table>>,
+    cubes: HashMap<String, SamplingCube>,
+    losses: HashMap<String, LossDecl>,
+    seed: u64,
+    serfling: SerflingConfig,
+    mode: MaterializationMode,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with the four built-in loss functions registered:
+    /// `mean_loss`, `heatmap_loss` (Euclidean; `heatmap_loss_manhattan`
+    /// for L1), `histogram_loss`, `regression_loss`.
+    pub fn new() -> Self {
+        let mut losses = HashMap::new();
+        losses.insert("mean_loss".into(), LossDecl::Mean);
+        losses.insert("heatmap_loss".into(), LossDecl::Heatmap(Metric::Euclidean));
+        losses.insert(
+            "heatmap_loss_manhattan".into(),
+            LossDecl::Heatmap(Metric::Manhattan),
+        );
+        losses.insert("histogram_loss".into(), LossDecl::Histogram);
+        losses.insert("regression_loss".into(), LossDecl::Regression);
+        Session {
+            tables: HashMap::new(),
+            cubes: HashMap::new(),
+            losses,
+            seed: 42,
+            serfling: SerflingConfig::default(),
+            mode: MaterializationMode::Tabula,
+        }
+    }
+
+    /// Override the RNG seed used for global samples.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the Serfling configuration for global-sample sizing.
+    pub fn with_serfling(mut self, config: SerflingConfig) -> Self {
+        self.serfling = config;
+        self
+    }
+
+    /// Override the materialization mode for subsequently created cubes
+    /// (default: full Tabula).
+    pub fn with_mode(mut self, mode: MaterializationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Register a raw table under `name`.
+    pub fn register_table(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Look up a registered table.
+    pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(name)
+    }
+
+    /// Look up a built cube.
+    pub fn cube(&self, name: &str) -> Option<&SamplingCube> {
+        self.cubes.get(name)
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateAggregate { name, body } => {
+                if self.losses.contains_key(&name) {
+                    return Err(SqlError::AlreadyExists(name));
+                }
+                self.losses.insert(name.clone(), LossDecl::UserExpr(body));
+                Ok(QueryResult::AggregateCreated(name))
+            }
+            Statement::CreateCube { name, source, cubed_attrs, theta, loss } => {
+                if self.cubes.contains_key(&name) {
+                    return Err(SqlError::AlreadyExists(name));
+                }
+                let table = Arc::clone(self.tables.get(&source).ok_or(SqlError::Unknown {
+                    kind: "table",
+                    name: source.clone(),
+                })?);
+                let decl = self.losses.get(&loss.name).ok_or(SqlError::Unknown {
+                    kind: "loss function",
+                    name: loss.name.clone(),
+                })?;
+                // Resolve target attributes up front (before `table` moves
+                // into the builder).
+                let targets: Vec<usize> = loss
+                    .target_attrs
+                    .iter()
+                    .map(|a| table.schema().index_of(a).map_err(SqlError::from))
+                    .collect::<Result<_>>()?;
+                let expect_targets = |n: usize| -> Result<()> {
+                    if targets.len() == n {
+                        Ok(())
+                    } else {
+                        Err(SqlError::Parse(format!(
+                            "loss function {} takes {n} target attribute(s), got {}",
+                            loss.name,
+                            targets.len()
+                        )))
+                    }
+                };
+                let cube = match decl.clone() {
+                    LossDecl::Mean => {
+                        expect_targets(1)?;
+                        self.build(table, &cubed_attrs, MeanLoss::new(targets[0]), theta)?
+                    }
+                    LossDecl::Heatmap(metric) => {
+                        expect_targets(1)?;
+                        self.build(
+                            table,
+                            &cubed_attrs,
+                            HeatmapLoss::new(targets[0], metric),
+                            theta,
+                        )?
+                    }
+                    LossDecl::Histogram => {
+                        expect_targets(1)?;
+                        self.build(table, &cubed_attrs, HistogramLoss::new(targets[0]), theta)?
+                    }
+                    LossDecl::Regression => {
+                        expect_targets(2)?;
+                        self.build(
+                            table,
+                            &cubed_attrs,
+                            RegressionLoss::new(targets[0], targets[1]),
+                            theta,
+                        )?
+                    }
+                    LossDecl::UserExpr(expr) => {
+                        expect_targets(1)?;
+                        self.build(table, &cubed_attrs, ExprLoss::new(targets[0], expr), theta)?
+                    }
+                };
+                let stats = cube.stats().clone();
+                self.cubes.insert(name.clone(), cube);
+                Ok(QueryResult::CubeCreated { name, stats })
+            }
+            Statement::SelectSample { cube, conditions } => {
+                let cube_ref = self.cubes.get(&cube).ok_or(SqlError::Unknown {
+                    kind: "cube",
+                    name: cube.clone(),
+                })?;
+                let pred = predicate_of(&conditions);
+                let answer = cube_ref.query(&pred)?;
+                Ok(QueryResult::Sample {
+                    table: answer.materialize(cube_ref.table()),
+                    provenance: answer.provenance,
+                })
+            }
+            Statement::SelectRaw { table, conditions } => {
+                let t = self.tables.get(&table).ok_or(SqlError::Unknown {
+                    kind: "table",
+                    name: table.clone(),
+                })?;
+                let pred = predicate_of(&conditions);
+                let rows = pred.filter(t)?;
+                Ok(QueryResult::Table(t.take(&rows)))
+            }
+            Statement::Drop { kind, name } => match kind {
+                DropKind::Cube => {
+                    self.cubes
+                        .remove(&name)
+                        .ok_or(SqlError::Unknown { kind: "cube", name: name.clone() })?;
+                    Ok(QueryResult::Dropped(name))
+                }
+                DropKind::Aggregate => {
+                    match self.losses.get(&name) {
+                        Some(LossDecl::UserExpr(_)) => {
+                            self.losses.remove(&name);
+                            Ok(QueryResult::Dropped(name))
+                        }
+                        Some(_) => Err(SqlError::Core(format!(
+                            "cannot drop built-in loss function {name}"
+                        ))),
+                        None => Err(SqlError::Unknown {
+                            kind: "loss function",
+                            name,
+                        }),
+                    }
+                }
+            },
+            Statement::Show(kind) => {
+                let mut lines: Vec<String> = match kind {
+                    ShowKind::Cubes => self
+                        .cubes
+                        .iter()
+                        .map(|(name, cube)| {
+                            format!(
+                                "{name} | attrs: {} | θ = {} | {} cells | {} samples",
+                                cube.attrs().join(","),
+                                cube.theta(),
+                                cube.materialized_cells(),
+                                cube.persisted_samples()
+                            )
+                        })
+                        .collect(),
+                    ShowKind::Tables => self
+                        .tables
+                        .iter()
+                        .map(|(name, t)| {
+                            format!("{name} | {} rows | {} columns", t.len(), t.schema().len())
+                        })
+                        .collect(),
+                    ShowKind::Aggregates => self
+                        .losses
+                        .iter()
+                        .map(|(name, decl)| {
+                            let kind = match decl {
+                                LossDecl::UserExpr(_) => "user-defined",
+                                _ => "built-in",
+                            };
+                            format!("{name} | {kind}")
+                        })
+                        .collect(),
+                };
+                lines.sort();
+                Ok(QueryResult::Info(lines))
+            }
+            Statement::ExplainCube(name) => {
+                let cube = self.cubes.get(&name).ok_or(SqlError::Unknown {
+                    kind: "cube",
+                    name: name.clone(),
+                })?;
+                let s = cube.stats();
+                let m = cube.memory_breakdown();
+                Ok(QueryResult::Info(vec![
+                    format!("cube {name} over [{}], θ = {}", cube.attrs().join(", "), cube.theta()),
+                    format!(
+                        "cells: {} total, {} iceberg (materialized), {} persisted samples",
+                        s.total_cells,
+                        cube.materialized_cells(),
+                        cube.persisted_samples()
+                    ),
+                    format!(
+                        "build: dry {:?} | real {:?} | selection {:?} | total {:?}",
+                        s.dry_run, s.real_run, s.selection, s.total
+                    ),
+                    format!(
+                        "plans: {} prune / {} group-all / {} cuboids skipped",
+                        s.prune_plans, s.group_all_plans, s.cuboids_skipped
+                    ),
+                    format!(
+                        "memory: global {}B + cube table {}B + samples {}B = {}B",
+                        m.global_bytes,
+                        m.cube_table_bytes,
+                        m.sample_table_bytes,
+                        m.total()
+                    ),
+                ]))
+            }
+        }
+    }
+
+    fn build<L: tabula_core::AccuracyLoss>(
+        &self,
+        table: Arc<Table>,
+        attrs: &[String],
+        loss: L,
+        theta: f64,
+    ) -> Result<SamplingCube> {
+        SamplingCubeBuilder::new(table, attrs, loss, theta)
+            .seed(self.seed)
+            .serfling(self.serfling)
+            .mode(self.mode)
+            .build()
+            .map_err(SqlError::from)
+    }
+}
+
+/// Convert parsed WHERE terms to a storage predicate.
+fn predicate_of(terms: &[WhereTerm]) -> Predicate {
+    let mut pred = Predicate::all();
+    for t in terms {
+        pred = pred.and(t.column.clone(), t.op, t.value.clone());
+    }
+    pred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabula_data::example_dcm_table;
+
+    fn session() -> Session {
+        let mut s = Session::new().with_seed(1);
+        s.register_table("nyctaxi", Arc::new(example_dcm_table()));
+        s
+    }
+
+    #[test]
+    fn end_to_end_paper_flow() {
+        let mut s = session();
+        // Query 1: initialize the cube with the built-in mean loss.
+        let result = s
+            .execute(
+                "CREATE TABLE SamplingCube AS \
+                 SELECT D, C, M, SAMPLING(*, 0.1) AS sample \
+                 FROM nyctaxi GROUPBY CUBE(D, C, M) \
+                 HAVING mean_loss(fare, Sam_global) > 0.1;",
+            )
+            .unwrap();
+        match result {
+            QueryResult::CubeCreated { name, stats } => {
+                assert_eq!(name, "SamplingCube");
+                assert!(stats.total_cells > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Query 2: fetch a sample.
+        let result = s
+            .execute("SELECT sample FROM SamplingCube WHERE D = '[0,5)' AND C = 1")
+            .unwrap();
+        match result {
+            QueryResult::Sample { table, provenance } => {
+                assert!(!table.is_empty());
+                assert!(!matches!(provenance, SampleProvenance::EmptyDomain));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_defined_aggregate_builds_a_cube() {
+        let mut s = session();
+        s.execute(
+            "CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS \
+             BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END",
+        )
+        .unwrap();
+        let result = s
+            .execute(
+                "CREATE TABLE c AS SELECT M, SAMPLING(*, 0.05) AS sample \
+                 FROM nyctaxi GROUPBY CUBE(M) \
+                 HAVING my_loss(fare, Sam_global) > 0.05",
+            )
+            .unwrap();
+        assert!(matches!(result, QueryResult::CubeCreated { .. }));
+        let ans = s.execute("SELECT sample FROM c WHERE M = 'dispute'").unwrap();
+        assert!(!ans.is_empty());
+    }
+
+    #[test]
+    fn regression_loss_takes_two_attributes() {
+        let mut s = session();
+        let ok = s.execute(
+            "CREATE TABLE r AS SELECT M, SAMPLING(*, 5) AS sample FROM nyctaxi \
+             GROUPBY CUBE(M) HAVING regression_loss(fare, tip, Sam_global) > 5",
+        );
+        assert!(ok.is_ok(), "{ok:?}");
+        let err = s.execute(
+            "CREATE TABLE r2 AS SELECT M, SAMPLING(*, 5) AS sample FROM nyctaxi \
+             GROUPBY CUBE(M) HAVING regression_loss(fare, Sam_global) > 5",
+        );
+        assert!(matches!(err, Err(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn raw_select_filters() {
+        let mut s = session();
+        let result = s.execute("SELECT * FROM nyctaxi WHERE M = 'cash' AND C = 1").unwrap();
+        let QueryResult::Table(t) = result else { panic!() };
+        assert_eq!(t.len(), 2); // rows 2 and 8 of the mini table
+    }
+
+    #[test]
+    fn unknown_objects_error_cleanly() {
+        let mut s = session();
+        assert!(matches!(
+            s.execute("SELECT sample FROM nocube WHERE a = 1"),
+            Err(SqlError::Unknown { kind: "cube", .. })
+        ));
+        assert!(matches!(
+            s.execute("SELECT * FROM notable"),
+            Err(SqlError::Unknown { kind: "table", .. })
+        ));
+        assert!(matches!(
+            s.execute(
+                "CREATE TABLE c AS SELECT M, SAMPLING(*, 1) AS sample FROM nyctaxi \
+                 GROUPBY CUBE(M) HAVING nope(fare, Sam_global) > 1"
+            ),
+            Err(SqlError::Unknown { kind: "loss function", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut s = session();
+        s.execute(
+            "CREATE TABLE c AS SELECT M, SAMPLING(*, 0.5) AS sample FROM nyctaxi \
+             GROUPBY CUBE(M) HAVING mean_loss(fare, Sam_global) > 0.5",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.execute(
+                "CREATE TABLE c AS SELECT M, SAMPLING(*, 0.5) AS sample FROM nyctaxi \
+                 GROUPBY CUBE(M) HAVING mean_loss(fare, Sam_global) > 0.5"
+            ),
+            Err(SqlError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            s.execute(
+                "CREATE AGGREGATE mean_loss(Raw, Sam) RETURN decimal_value AS \
+                 BEGIN AVG(Raw) END"
+            ),
+            Err(SqlError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn management_statements_work_end_to_end() {
+        let mut s = session();
+        s.execute(
+            "CREATE TABLE c AS SELECT M, SAMPLING(*, 0.5) AS sample FROM nyctaxi \
+             GROUPBY CUBE(M) HAVING mean_loss(fare, Sam_global) > 0.5",
+        )
+        .unwrap();
+        // SHOW lists everything.
+        let QueryResult::Info(cubes) = s.execute("SHOW CUBES").unwrap() else { panic!() };
+        assert_eq!(cubes.len(), 1);
+        assert!(cubes[0].starts_with("c |"));
+        let QueryResult::Info(tables) = s.execute("SHOW TABLES").unwrap() else { panic!() };
+        assert!(tables[0].starts_with("nyctaxi |"));
+        let QueryResult::Info(aggs) = s.execute("SHOW AGGREGATES").unwrap() else { panic!() };
+        assert_eq!(aggs.len(), 5); // the built-ins
+
+        // EXPLAIN prints the build profile.
+        let QueryResult::Info(lines) = s.execute("EXPLAIN CUBE c").unwrap() else { panic!() };
+        assert!(lines.iter().any(|l| l.contains("iceberg")));
+
+        // DROP frees the name for reuse; built-ins cannot be dropped.
+        assert!(matches!(s.execute("DROP CUBE c").unwrap(), QueryResult::Dropped(_)));
+        assert!(matches!(
+            s.execute("DROP CUBE c"),
+            Err(SqlError::Unknown { kind: "cube", .. })
+        ));
+        assert!(matches!(s.execute("DROP AGGREGATE mean_loss"), Err(SqlError::Core(_))));
+        s.execute(
+            "CREATE AGGREGATE u(Raw, Sam) RETURN decimal_value AS BEGIN AVG(Raw) END",
+        )
+        .unwrap();
+        assert!(matches!(s.execute("DROP AGGREGATE u").unwrap(), QueryResult::Dropped(_)));
+        // The cube name is reusable after DROP.
+        assert!(s
+            .execute(
+                "CREATE TABLE c AS SELECT M, SAMPLING(*, 0.5) AS sample FROM nyctaxi \
+                 GROUPBY CUBE(M) HAVING mean_loss(fare, Sam_global) > 0.5",
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn guarantee_through_the_sql_surface() {
+        // The θ bound must hold for samples fetched via SQL, end to end.
+        let mut s = session();
+        s.execute(
+            "CREATE TABLE g AS SELECT D, C, M, SAMPLING(*, 0.1) AS sample \
+             FROM nyctaxi GROUPBY CUBE(D, C, M) \
+             HAVING mean_loss(fare, Sam_global) > 0.1",
+        )
+        .unwrap();
+        let t = Arc::clone(s.table("nyctaxi").unwrap());
+        let fare = t.schema().index_of("fare").unwrap();
+        use tabula_storage::Predicate;
+        for m in ["cash", "credit", "dispute"] {
+            let QueryResult::Sample { table: sample, .. } =
+                s.execute(&format!("SELECT sample FROM g WHERE M = '{m}'")).unwrap()
+            else {
+                panic!()
+            };
+            // Exact raw answer.
+            let raw_rows = Predicate::eq("M", m).filter(&t).unwrap();
+            // Compare means directly (sample is a standalone table).
+            let raw_mean: f64 = raw_rows
+                .iter()
+                .map(|&r| t.value(r as usize, fare).as_f64().unwrap())
+                .sum::<f64>()
+                / raw_rows.len() as f64;
+            let sam_col = sample.column(fare).as_f64_slice().unwrap();
+            let sam_mean: f64 = sam_col.iter().sum::<f64>() / sam_col.len() as f64;
+            let rel = ((raw_mean - sam_mean) / raw_mean).abs();
+            assert!(rel <= 0.1 + 1e-9, "M={m}: rel err {rel}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # tabula-sql
+//!
+//! The SQL dialect front-end of the Tabula middleware — the exact surface
+//! the paper's Section II shows to users:
+//!
+//! ```sql
+//! -- Declare a loss function (paper Function 1):
+//! CREATE AGGREGATE my_loss(Raw, Sam)
+//!   RETURN decimal_value AS BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END;
+//!
+//! -- Initialize the sampling cube (paper Query 1):
+//! CREATE TABLE cube AS
+//!   SELECT payment_type, passenger_count, SAMPLING(*, 0.1) AS sample
+//!   FROM nyctaxi
+//!   GROUPBY CUBE(payment_type, passenger_count)
+//!   HAVING my_loss(fare_amount, Sam_global) > 0.1;
+//!
+//! -- Dashboard interaction (paper Query 2):
+//! SELECT sample FROM cube WHERE payment_type = 'cash';
+//! ```
+//!
+//! [`Session`] holds named tables, registered loss functions (the four
+//! built-ins plus user-declared aggregates) and built cubes; it parses and
+//! executes statements end-to-end against `tabula-core`.
+
+pub mod ast;
+pub mod executor;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{LossRef, Statement};
+pub use executor::{QueryResult, Session};
+pub use parser::parse;
+
+/// Errors from the SQL layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer error at a byte offset.
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// Byte position in the input.
+        position: usize,
+    },
+    /// Parse error.
+    Parse(String),
+    /// A referenced object (table, cube, loss function) does not exist.
+    Unknown {
+        /// Object kind ("table", "cube", "loss function").
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// Error bubbled up from the middleware.
+    Core(String),
+    /// Error bubbled up from the storage engine.
+    Storage(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { message, position } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::Unknown { kind, name } => write!(f, "unknown {kind}: {name}"),
+            SqlError::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+            SqlError::Core(msg) => write!(f, "middleware error: {msg}"),
+            SqlError::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<tabula_core::CoreError> for SqlError {
+    fn from(e: tabula_core::CoreError) -> Self {
+        SqlError::Core(e.to_string())
+    }
+}
+
+impl From<tabula_storage::StorageError> for SqlError {
+    fn from(e: tabula_storage::StorageError) -> Self {
+        SqlError::Storage(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,132 @@
+//! A minimal FxHash implementation and hash-map/set aliases built on it.
+//!
+//! Cube construction hashes millions of small integer-tuple group keys; the
+//! default SipHash 1-3 hasher is measurably slower for such keys. The
+//! `rustc-hash` crate is not on this project's allowed dependency list, so
+//! the (tiny, public-domain) algorithm is reimplemented here. HashDoS
+//! resistance is irrelevant: all hashed keys originate from trusted,
+//! locally-generated data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by FxHash (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher: a fast, non-cryptographic, word-at-a-time hash.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // Unwrap is fine: chunks_exact guarantees 8 bytes.
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&vec![1u32, 2, 3]), hash_of(&vec![1u32, 2, 3]));
+        assert_eq!(hash_of(&"tabula"), hash_of(&"tabula"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&vec![1u32, 2]), hash_of(&vec![2u32, 1]));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        // Note: FxHash absorbs zero words into a zero state, so "" and
+        // "\0" DO collide — acceptable for trusted integer-tuple keys.
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Streams whose lengths straddle the 8-byte chunk boundary must not
+        // collide just because their prefixes agree.
+        let a: Vec<u8> = (0..7).collect();
+        let b: Vec<u8> = (0..8).collect();
+        let c: Vec<u8> = (0..9).collect();
+        assert_ne!(hash_of(&a), hash_of(&b));
+        assert_ne!(hash_of(&b), hash_of(&c));
+    }
+
+    #[test]
+    fn map_and_set_work_end_to_end() {
+        let mut map: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        map.insert(vec![1, 2, 3], 7);
+        map.insert(vec![3, 2, 1], 8);
+        assert_eq!(map.get(&vec![1, 2, 3]), Some(&7));
+        assert_eq!(map.len(), 2);
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            set.insert(i * 31);
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains(&(31 * 999)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Hash group-by on categorical attribute tuples.
+
+use crate::fx::FxHashMap;
+use crate::table::{Cat, RowId, Table};
+use crate::Result;
+
+/// Result of a group-by: each group's code tuple and its member rows.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedRows {
+    /// Map from group key (one code per grouping column, in column order)
+    /// to the row ids belonging to the group.
+    pub groups: FxHashMap<Vec<u32>, Vec<RowId>>,
+}
+
+impl GroupedRows {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Group all rows of `table` by the categorical columns `cols`.
+///
+/// Cost: one pass over the data, hashing one small integer tuple per row —
+/// this is the `GroupBy` primitive the paper's cost model (Inequality 1)
+/// prices as `N·log_k(N)`.
+pub fn group_by(table: &Table, cols: &[usize]) -> Result<GroupedRows> {
+    let rows: Vec<RowId> = table.all_rows();
+    group_rows(table, cols, &rows)
+}
+
+/// Group an explicit subset of rows of `table` by the categorical columns
+/// `cols`. Used by the real-run stage after pruning to iceberg-cell rows.
+pub fn group_rows(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<GroupedRows> {
+    let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
+    let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+    let mut groups: FxHashMap<Vec<u32>, Vec<RowId>> = FxHashMap::default();
+    let mut key = vec![0u32; cols.len()];
+    for &row in rows {
+        for (k, codes) in key.iter_mut().zip(&code_slices) {
+            *k = codes[row as usize];
+        }
+        match groups.get_mut(&key) {
+            Some(v) => v.push(row),
+            None => {
+                groups.insert(key.clone(), vec![row]);
+            }
+        }
+    }
+    Ok(GroupedRows { groups })
+}
+
+/// Project each row of `rows` to its code tuple under `cols` without
+/// grouping. Useful for membership probes against a set of cells.
+pub fn project_codes(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<Vec<Vec<u32>>> {
+    let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
+    let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+    Ok(rows
+        .iter()
+        .map(|&row| code_slices.iter().map(|codes| codes[row as usize]).collect())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::types::ColumnType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("payment", ColumnType::Str),
+            Field::new("passengers", ColumnType::Int64),
+            Field::new("fare", ColumnType::Float64),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        let data: [(&str, i64, f64); 6] = [
+            ("cash", 1, 5.0),
+            ("credit", 2, 9.5),
+            ("cash", 1, 7.25),
+            ("dispute", 3, 12.0),
+            ("cash", 2, 3.0),
+            ("credit", 2, 4.0),
+        ];
+        for (p, n, f) in data {
+            b.push_row(&[p.into(), n.into(), f.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_column_groups() {
+        let t = table();
+        let g = group_by(&t, &[0]).unwrap();
+        assert_eq!(g.len(), 3);
+        // payment codes: cash=0, credit=1, dispute=2 (first-seen order).
+        assert_eq!(g.groups[&vec![0]], vec![0, 2, 4]);
+        assert_eq!(g.groups[&vec![1]], vec![1, 5]);
+        assert_eq!(g.groups[&vec![2]], vec![3]);
+    }
+
+    #[test]
+    fn multi_column_groups() {
+        let t = table();
+        let g = group_by(&t, &[0, 1]).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.groups[&vec![0, 0]], vec![0, 2]); // cash, 1
+        assert_eq!(g.groups[&vec![1, 1]], vec![1, 5]); // credit, 2
+        assert_eq!(g.groups[&vec![0, 1]], vec![4]); // cash, 2
+        assert_eq!(g.groups[&vec![2, 2]], vec![3]); // dispute, 3
+    }
+
+    #[test]
+    fn group_subset_of_rows() {
+        let t = table();
+        let g = group_rows(&t, &[0], &[1, 3, 5]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.groups[&vec![1]], vec![1, 5]);
+        assert_eq!(g.groups[&vec![2]], vec![3]);
+    }
+
+    #[test]
+    fn grouping_on_empty_column_list_yields_one_group() {
+        let t = table();
+        let g = group_by(&t, &[]).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.groups[&vec![]].len(), 6);
+    }
+
+    #[test]
+    fn non_categorical_column_is_error() {
+        let t = table();
+        assert!(group_by(&t, &[2]).is_err());
+    }
+
+    #[test]
+    fn project_codes_matches_group_keys() {
+        let t = table();
+        let codes = project_codes(&t, &[0, 1], &[0, 3]).unwrap();
+        assert_eq!(codes, vec![vec![0, 0], vec![2, 2]]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Predicates and vectorised filtering.
+//!
+//! Dashboard queries against Tabula constrain cubed (categorical)
+//! attributes with equality, and baselines additionally filter measure
+//! columns by range, so the predicate language covers conjunctions of
+//! per-column comparisons.
+
+use crate::table::{RowId, Table};
+use crate::types::Value;
+use crate::{Result, StorageError};
+
+/// Comparison operator of a single predicate term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn eval_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// One `column <op> literal` term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: Value,
+}
+
+/// A conjunction of comparison terms (`WHERE a = x AND b < y ...`).
+///
+/// An empty predicate matches every row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Predicate {
+    terms: Vec<Term>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn all() -> Self {
+        Predicate::default()
+    }
+
+    /// A single equality predicate.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::all().and(column, CmpOp::Eq, value)
+    }
+
+    /// Add a term to the conjunction (builder style).
+    pub fn and(mut self, column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        self.terms.push(Term { column: column.into(), op, value: value.into() });
+        self
+    }
+
+    /// The conjunction's terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Whether this predicate matches every row trivially.
+    pub fn is_trivial(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluate over `table`, returning matching row ids in ascending order.
+    ///
+    /// Categorical equality terms are evaluated on dictionary codes (one
+    /// integer compare per row); other terms fall back to typed compares.
+    pub fn filter(&self, table: &Table) -> Result<Vec<RowId>> {
+        let compiled = self.compile(table)?;
+        let mut out = Vec::new();
+        'rows: for row in 0..table.len() {
+            for term in &compiled {
+                if !term.matches(table, row) {
+                    continue 'rows;
+                }
+            }
+            out.push(row as RowId);
+        }
+        Ok(out)
+    }
+
+    /// Evaluate over an explicit subset of rows of `table`, preserving order.
+    pub fn filter_rows(&self, table: &Table, rows: &[RowId]) -> Result<Vec<RowId>> {
+        let compiled = self.compile(table)?;
+        let mut out = Vec::new();
+        'rows: for &row in rows {
+            for term in &compiled {
+                if !term.matches(table, row as usize) {
+                    continue 'rows;
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Whether a single row matches.
+    pub fn matches(&self, table: &Table, row: usize) -> Result<bool> {
+        let compiled = self.compile(table)?;
+        Ok(compiled.iter().all(|t| t.matches(table, row)))
+    }
+
+    fn compile(&self, table: &Table) -> Result<Vec<CompiledTerm>> {
+        self.terms
+            .iter()
+            .map(|t| {
+                let col = table.schema().index_of(&t.column)?;
+                // Fast path: categorical equality compiled to a code compare.
+                if t.op == CmpOp::Eq {
+                    if let Ok(cat) = table.cat(col) {
+                        return Ok(match cat.lookup(&t.value) {
+                            Some(code) => CompiledTerm::CatEq { col, code },
+                            // Value absent from the column's domain: the
+                            // term can never match.
+                            None => CompiledTerm::Never,
+                        });
+                    }
+                }
+                Ok(CompiledTerm::General { col, op: t.op, value: t.value.clone() })
+            })
+            .collect()
+    }
+}
+
+enum CompiledTerm {
+    CatEq { col: usize, code: u32 },
+    General { col: usize, op: CmpOp, value: Value },
+    Never,
+}
+
+impl CompiledTerm {
+    #[inline]
+    fn matches(&self, table: &Table, row: usize) -> bool {
+        match self {
+            CompiledTerm::Never => false,
+            CompiledTerm::CatEq { col, code } => {
+                // cat() is infallible here: compile() verified the column.
+                table.cat(*col).map(|c| c.codes()[row] == *code).unwrap_or(false)
+            }
+            CompiledTerm::General { col, op, value } => {
+                compare(&table.value(row, *col), value)
+                    .map(|ord| op.eval_ord(ord))
+                    .unwrap_or(false)
+            }
+        }
+    }
+}
+
+/// Typed three-way comparison between two values; `None` when incomparable
+/// (different types, or points, which have no total order).
+fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int64(x), Value::Int64(y)) => Some(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        (Value::Float64(_), _) | (_, Value::Float64(_)) => {
+            a.as_f64().zip(b.as_f64()).and_then(|(x, y)| x.partial_cmp(&y))
+        }
+        _ => None,
+    }
+}
+
+/// Convenience: validate that every predicate column exists and is one of
+/// `allowed` (used by the cube query path, where WHERE columns must be a
+/// subset of the cubed attributes).
+pub fn validate_columns(pred: &Predicate, allowed: &[String]) -> Result<()> {
+    for term in pred.terms() {
+        if !allowed.iter().any(|a| a == &term.column) {
+            return Err(StorageError::UnknownColumn(term.column.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::types::ColumnType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("payment", ColumnType::Str),
+            Field::new("passengers", ColumnType::Int64),
+            Field::new("fare", ColumnType::Float64),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        let data: [(&str, i64, f64); 5] = [
+            ("cash", 1, 5.0),
+            ("credit", 2, 9.5),
+            ("cash", 1, 7.25),
+            ("dispute", 3, 12.0),
+            ("cash", 2, 3.0),
+        ];
+        for (p, n, f) in data {
+            b.push_row(&[p.into(), n.into(), f.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn trivial_predicate_matches_all() {
+        let t = table();
+        assert_eq!(Predicate::all().filter(&t).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn categorical_equality() {
+        let t = table();
+        assert_eq!(Predicate::eq("payment", "cash").filter(&t).unwrap(), vec![0, 2, 4]);
+        assert_eq!(Predicate::eq("passengers", 2i64).filter(&t).unwrap(), vec![1, 4]);
+    }
+
+    #[test]
+    fn value_outside_domain_matches_nothing() {
+        let t = table();
+        assert!(Predicate::eq("payment", "bitcoin").filter(&t).unwrap().is_empty());
+        assert!(Predicate::eq("passengers", 99i64).filter(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn conjunction_and_ranges() {
+        let t = table();
+        let p = Predicate::eq("payment", "cash").and("fare", CmpOp::Gt, 4.0);
+        assert_eq!(p.filter(&t).unwrap(), vec![0, 2]);
+        let p = Predicate::all().and("fare", CmpOp::Le, 7.25).and("fare", CmpOp::Ge, 5.0);
+        assert_eq!(p.filter(&t).unwrap(), vec![0, 2]);
+        let p = Predicate::all().and("passengers", CmpOp::Ne, 1i64);
+        assert_eq!(p.filter(&t).unwrap(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn int_compares_against_float_literal() {
+        let t = table();
+        let p = Predicate::all().and("passengers", CmpOp::Ge, 2.5f64);
+        assert_eq!(p.filter(&t).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn filter_rows_subset() {
+        let t = table();
+        let p = Predicate::eq("payment", "cash");
+        assert_eq!(p.filter_rows(&t, &[4, 3, 0]).unwrap(), vec![4, 0]);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let t = table();
+        assert!(matches!(
+            Predicate::eq("nope", 1i64).filter(&t),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn validate_columns_enforces_subset() {
+        let allowed = vec!["payment".to_owned(), "passengers".to_owned()];
+        assert!(validate_columns(&Predicate::eq("payment", "cash"), &allowed).is_ok());
+        assert!(validate_columns(&Predicate::eq("fare", 1.0), &allowed).is_err());
+    }
+
+    #[test]
+    fn matches_single_row() {
+        let t = table();
+        let p = Predicate::eq("payment", "dispute");
+        assert!(p.matches(&t, 3).unwrap());
+        assert!(!p.matches(&t, 0).unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! Table schemas.
+
+use crate::types::ColumnType;
+use crate::{Result, StorageError};
+use serde::{Deserialize, Serialize};
+
+/// A named, typed field of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name as referenced by SQL and the APIs.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Duplicate names are a programming error
+    /// and panic early.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate column name {:?}", f.name);
+            }
+        }
+        Schema { fields }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_owned()))
+    }
+
+    /// The field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Approximate bytes one row occupies under this schema; used by the
+    /// memory-footprint accounting of materialized samples.
+    pub fn row_bytes(&self) -> usize {
+        self.fields.iter().map(|f| f.ty.byte_width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("payment_type", ColumnType::Str),
+            Field::new("fare", ColumnType::Float64),
+            Field::new("pickup", ColumnType::Point),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = sample_schema();
+        assert_eq!(s.index_of("fare").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+        assert_eq!(s.field(0).name, "payment_type");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn row_bytes_accounts_each_type() {
+        let s = sample_schema();
+        assert_eq!(s.row_bytes(), 12 + 8 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![
+            Field::new("a", ColumnType::Int64),
+            Field::new("a", ColumnType::Str),
+        ]);
+    }
+}

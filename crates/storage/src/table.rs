@@ -1,0 +1,430 @@
+//! Immutable columnar tables and their builder.
+
+use crate::column::Column;
+use crate::dictionary::Dictionary;
+use crate::fx::FxHashMap;
+use crate::schema::Schema;
+use crate::types::{ColumnType, Value};
+use crate::{Result, StorageError};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// Row identifier within a table. `u32` bounds tables at ~4.3 B rows, far
+/// beyond what a single-machine reproduction runs, and halves the memory of
+/// row-id lists relative to `usize`.
+pub type RowId = u32;
+
+/// Categorical index for an `Int64` column: dense codes per row plus the
+/// decode table, built lazily the first time the column is used as a cubed
+/// attribute.
+#[derive(Debug)]
+pub struct IntCatIndex {
+    /// Per-row dense codes (first-seen order).
+    pub codes: Vec<u32>,
+    /// Decode table: code → original integer.
+    pub values: Vec<i64>,
+    /// Encode table: original integer → code.
+    pub index: FxHashMap<i64, u32>,
+}
+
+impl IntCatIndex {
+    fn build(data: &[i64]) -> Self {
+        let mut index = FxHashMap::default();
+        let mut values = Vec::new();
+        let mut codes = Vec::with_capacity(data.len());
+        for &v in data {
+            let code = *index.entry(v).or_insert_with(|| {
+                values.push(v);
+                (values.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        IntCatIndex { codes, values, index }
+    }
+}
+
+/// A borrowed view of a column as a categorical attribute: dense codes plus
+/// decode/encode. `Str` columns expose their dictionary directly; `Int64`
+/// columns go through a cached [`IntCatIndex`].
+pub enum Cat<'t> {
+    /// Dictionary-encoded string column.
+    Str(&'t [u32], &'t Dictionary),
+    /// Lazily-indexed integer column.
+    Int(&'t IntCatIndex),
+}
+
+impl<'t> Cat<'t> {
+    /// Per-row dense codes.
+    pub fn codes(&self) -> &'t [u32] {
+        match self {
+            Cat::Str(codes, _) => codes,
+            Cat::Int(idx) => &idx.codes,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Cat::Str(_, dict) => dict.len(),
+            Cat::Int(idx) => idx.values.len(),
+        }
+    }
+
+    /// Decode a code back to a [`Value`].
+    pub fn decode(&self, code: u32) -> Value {
+        match self {
+            Cat::Str(_, dict) => Value::Str(dict.decode(code).to_owned()),
+            Cat::Int(idx) => Value::Int64(idx.values[code as usize]),
+        }
+    }
+
+    /// Encode a value, if present in this column's domain.
+    pub fn lookup(&self, value: &Value) -> Option<u32> {
+        match (self, value) {
+            (Cat::Str(_, dict), Value::Str(s)) => dict.lookup(s),
+            (Cat::Int(idx), Value::Int64(v)) => idx.index.get(v).copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Serializable mirror of [`Table`] (drops lazily-built caches).
+#[derive(Serialize, Deserialize)]
+struct TableRepr {
+    schema: Schema,
+    columns: Vec<Column>,
+    len: usize,
+}
+
+/// An immutable, columnar, in-memory table.
+///
+/// Built once via [`TableBuilder`]; all analysis (filters, group-bys, cube
+/// construction, sampling) reads it concurrently without synchronization.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(from = "TableRepr", into = "TableRepr")]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    len: usize,
+    /// Per-column lazily-built categorical indexes for `Int64` columns.
+    int_cat: Vec<OnceLock<Arc<IntCatIndex>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            len: self.len,
+            int_cat: (0..self.columns.len()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+impl From<TableRepr> for Table {
+    fn from(repr: TableRepr) -> Self {
+        let mut columns = repr.columns;
+        for c in &mut columns {
+            if let Column::Str { dict, .. } = c {
+                dict.rebuild_index();
+            }
+        }
+        let n = columns.len();
+        Table {
+            schema: repr.schema,
+            columns,
+            len: repr.len,
+            int_cat: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+impl From<Table> for TableRepr {
+    fn from(t: Table) -> Self {
+        TableRepr { schema: t.schema, columns: t.columns, len: t.len }
+    }
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns: Vec<Column> =
+            schema.fields().iter().map(|f| Column::empty(f.ty)).collect();
+        let n = columns.len();
+        Table { schema, columns, len: 0, int_cat: (0..n).map(|_| OnceLock::new()).collect() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The column named `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// The value at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Materialize row `row` as a vector of values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// View column `col` as a categorical attribute.
+    ///
+    /// `Str` columns are categorical natively; `Int64` columns build (and
+    /// cache) a dense code index on first use. Other types are rejected.
+    pub fn cat(&self, col: usize) -> Result<Cat<'_>> {
+        match &self.columns[col] {
+            Column::Str { codes, dict } => Ok(Cat::Str(codes, dict)),
+            Column::Int64(data) => {
+                let idx = self.int_cat[col]
+                    .get_or_init(|| Arc::new(IntCatIndex::build(data)));
+                Ok(Cat::Int(idx))
+            }
+            _ => Err(StorageError::NotCategorical(
+                self.schema.field(col).name.clone(),
+            )),
+        }
+    }
+
+    /// Materialize a new table containing only `rows`, in order. The new
+    /// table shares no mutable state with `self`.
+    pub fn take(&self, rows: &[RowId]) -> Table {
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(rows)).collect();
+        let n = columns.len();
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            len: rows.len(),
+            int_cat: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Approximate bytes one row of this table occupies.
+    pub fn row_bytes(&self) -> usize {
+        self.schema.row_bytes()
+    }
+
+    /// Approximate total heap bytes of the table's column data.
+    pub fn heap_bytes(&self) -> usize {
+        self.len * self.row_bytes()
+    }
+
+    /// All row ids, `0..len`.
+    pub fn all_rows(&self) -> Vec<RowId> {
+        (0..self.len as RowId).collect()
+    }
+}
+
+/// Builder that accumulates rows and freezes them into a [`Table`].
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    len: usize,
+}
+
+impl TableBuilder {
+    /// A builder for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.fields().iter().map(|f| Column::empty(f.ty)).collect();
+        TableBuilder { schema, columns, len: 0 }
+    }
+
+    /// A builder with per-column capacity pre-reserved for `capacity` rows.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.ty, capacity))
+            .collect();
+        TableBuilder { schema, columns, len: 0 }
+    }
+
+    /// Append one row. All columns are extended or none are.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        // Validate every value before mutating anything so a failed push
+        // leaves the builder consistent.
+        for (i, v) in values.iter().enumerate() {
+            let expected = self.schema.field(i).ty;
+            let ok = v.column_type() == expected
+                || (expected == ColumnType::Float64 && v.column_type() == ColumnType::Int64);
+            if !ok {
+                return Err(StorageError::TypeMismatch {
+                    column: self.schema.field(i).name.clone(),
+                    expected,
+                    got: v.type_name(),
+                });
+            }
+        }
+        for (c, v) in self.columns.iter_mut().zip(values) {
+            let pushed = c.push(v);
+            debug_assert!(pushed, "type validated above");
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Freeze into an immutable [`Table`].
+    pub fn finish(self) -> Table {
+        let n = self.columns.len();
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            len: self.len,
+            int_cat: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::types::Point;
+
+    fn taxi_mini() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("payment", ColumnType::Str),
+            Field::new("passengers", ColumnType::Int64),
+            Field::new("fare", ColumnType::Float64),
+            Field::new("pickup", ColumnType::Point),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        let rows: Vec<Vec<Value>> = vec![
+            vec!["cash".into(), 1i64.into(), 5.0.into(), Point::new(0.0, 0.0).into()],
+            vec!["credit".into(), 2i64.into(), 9.5.into(), Point::new(1.0, 1.0).into()],
+            vec!["cash".into(), 1i64.into(), 7.25.into(), Point::new(2.0, 0.5).into()],
+        ];
+        for r in &rows {
+            b.push_row(r).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_read_rows() {
+        let t = taxi_mini();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(1, 0), Value::Str("credit".into()));
+        assert_eq!(t.value(2, 2), Value::Float64(7.25));
+        assert_eq!(
+            t.row(0),
+            vec![
+                Value::Str("cash".into()),
+                Value::Int64(1),
+                Value::Float64(5.0),
+                Value::Point(Point::new(0.0, 0.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn arity_and_type_errors_leave_builder_intact() {
+        let schema = Schema::new(vec![
+            Field::new("a", ColumnType::Str),
+            Field::new("b", ColumnType::Int64),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        assert!(matches!(
+            b.push_row(&["x".into()]),
+            Err(StorageError::ArityMismatch { expected: 2, got: 1 })
+        ));
+        // Second value has the wrong type; the first must not be committed.
+        assert!(matches!(
+            b.push_row(&["x".into(), "y".into()]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert_eq!(b.len(), 0);
+        b.push_row(&["x".into(), 3i64.into()]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.column(0).len(), 1);
+        assert_eq!(t.column(1).len(), 1);
+    }
+
+    #[test]
+    fn cat_view_str_and_int() {
+        let t = taxi_mini();
+        let payment = t.cat(0).unwrap();
+        assert_eq!(payment.cardinality(), 2);
+        assert_eq!(payment.codes(), &[0, 1, 0]);
+        assert_eq!(payment.decode(1), Value::Str("credit".into()));
+        assert_eq!(payment.lookup(&Value::Str("cash".into())), Some(0));
+        assert_eq!(payment.lookup(&Value::Str("nope".into())), None);
+
+        let passengers = t.cat(1).unwrap();
+        assert_eq!(passengers.cardinality(), 2);
+        assert_eq!(passengers.codes(), &[0, 1, 0]);
+        assert_eq!(passengers.decode(0), Value::Int64(1));
+        assert_eq!(passengers.lookup(&Value::Int64(2)), Some(1));
+
+        // Non-categorical columns are rejected.
+        assert!(matches!(t.cat(2), Err(StorageError::NotCategorical(_))));
+        assert!(matches!(t.cat(3), Err(StorageError::NotCategorical(_))));
+    }
+
+    #[test]
+    fn take_projects_and_is_independent() {
+        let t = taxi_mini();
+        let sub = t.take(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.value(0, 2), Value::Float64(7.25));
+        assert_eq!(sub.value(1, 0), Value::Str("cash".into()));
+        // Categorical views on the projection still work.
+        assert_eq!(sub.cat(0).unwrap().codes(), &[0, 0]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_lookups() {
+        let t = taxi_mini();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.value(1, 0), Value::Str("credit".into()));
+        // Dictionary reverse index must be rebuilt by deserialization.
+        let cat = back.cat(0).unwrap();
+        assert_eq!(cat.lookup(&Value::Str("credit".into())), Some(1));
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_rows() {
+        let t = taxi_mini();
+        assert_eq!(t.heap_bytes(), 3 * (12 + 8 + 8 + 16));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the storage engine's CUBE machinery: the
+//! algebraic rollup must agree exactly with direct group-bys on arbitrary
+//! tables — the invariant the entire dry-run stage rests on.
+
+use proptest::prelude::*;
+use tabula_storage::agg::SumCount;
+use tabula_storage::cube::{compute_cube, CellKey, CuboidMask};
+use tabula_storage::{group_by, ColumnType, Field, Schema, Table, TableBuilder};
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    let row = (0u32..5, 0u32..4, 0u32..3, -100.0f64..100.0);
+    proptest::collection::vec(row, 1..200).prop_map(|rows| {
+        let schema = Schema::new(vec![
+            Field::new("a", ColumnType::Int64),
+            Field::new("b", ColumnType::Int64),
+            Field::new("c", ColumnType::Int64),
+            Field::new("v", ColumnType::Float64),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (a, bb, c, v) in rows {
+            b.push_row(&[(a as i64).into(), (bb as i64).into(), (c as i64).into(), v.into()])
+                .expect("conforming row");
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every cell of the rolled-up cube equals the direct group-by result.
+    #[test]
+    fn rollup_agrees_with_direct_group_by(table in arb_table()) {
+        let values = table.column(3).as_f64_slice().unwrap().to_vec();
+        let cube = compute_cube(&table, &[0, 1, 2], SumCount::default, |s, row| {
+            s.add(values[row as usize])
+        })
+        .unwrap();
+        for mask in CuboidMask::enumerate(3) {
+            let grouped = group_by(&table, &mask.attrs()).unwrap();
+            // Same number of populated cells per cuboid.
+            prop_assert_eq!(
+                cube.cuboids[&mask].len(),
+                grouped.groups.len(),
+                "cuboid {}", mask
+            );
+            for (key, rows) in &grouped.groups {
+                let direct: f64 = rows.iter().map(|&r| values[r as usize]).sum();
+                let cell = CellKey::from_compact(mask, 3, key);
+                let state = cube.cell_state(&cell).expect("cell present");
+                prop_assert!(
+                    (state.sum - direct).abs() < 1e-6,
+                    "cell {}: rollup {} vs direct {}", cell, state.sum, direct
+                );
+                prop_assert_eq!(state.count, rows.len() as u64);
+            }
+        }
+    }
+
+    /// Projecting any row onto any cuboid yields a cell the cube contains,
+    /// and that cell covers the row.
+    #[test]
+    fn every_row_lands_in_a_populated_cell(table in arb_table(), mask_bits in 0u32..8) {
+        let values = table.column(3).as_f64_slice().unwrap().to_vec();
+        let cube = compute_cube(&table, &[0, 1, 2], SumCount::default, |s, row| {
+            s.add(values[row as usize])
+        })
+        .unwrap();
+        let mask = CuboidMask(mask_bits);
+        let cats: Vec<_> = (0..3).map(|c| table.cat(c).unwrap()).collect();
+        for row in 0..table.len() {
+            let full: Vec<u32> = cats.iter().map(|c| c.codes()[row]).collect();
+            let cell = CellKey::project(mask, &full);
+            prop_assert!(cube.cell_state(&cell).is_some());
+            prop_assert!(cell.covers(&full));
+        }
+    }
+
+    /// Cuboid cell counts are monotone: a parent cuboid (more grouping
+    /// attributes) never has fewer cells than its child.
+    #[test]
+    fn cell_counts_are_monotone_up_the_lattice(table in arb_table()) {
+        let cube = compute_cube(&table, &[0, 1, 2], SumCount::default, |s, _| s.add(1.0))
+            .unwrap();
+        for mask in CuboidMask::enumerate(3) {
+            for child_attr in mask.attrs() {
+                let child = CuboidMask(mask.0 & !(1 << child_attr));
+                prop_assert!(
+                    cube.cuboids[&mask].len() >= cube.cuboids[&child].len(),
+                    "parent {} has fewer cells than child {}", mask, child
+                );
+            }
+        }
+    }
+}

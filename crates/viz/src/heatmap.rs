@@ -1,0 +1,246 @@
+//! Heat-map rendering over point data — the paper's headline visual
+//! analysis task (Figures 1 and 2).
+//!
+//! A heat map here is a `W × H` density grid over a bounding box, with a
+//! Gaussian-ish splat per point (so sparse samples produce smooth maps,
+//! like Tableau's density marks), normalized and color-mapped into an RGB
+//! pixel buffer. [`Heatmap::diff`] quantifies how different two maps look
+//! — the number the paper's Figure 2 narrative ("SampleFirst misses the
+//! airport") makes visually.
+
+use tabula_storage::Point;
+
+/// Heat-map configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatmapConfig {
+    /// Grid width in cells.
+    pub width: usize,
+    /// Grid height in cells.
+    pub height: usize,
+    /// Bounding box: min corner.
+    pub min: Point,
+    /// Bounding box: max corner.
+    pub max: Point,
+    /// Splat radius in cells (0 = plain binning).
+    pub splat_radius: usize,
+}
+
+impl Default for HeatmapConfig {
+    fn default() -> Self {
+        // The unit square used by the synthetic NYC generator.
+        HeatmapConfig {
+            width: 128,
+            height: 128,
+            min: Point::new(0.0, 0.0),
+            max: Point::new(1.0, 1.0),
+            splat_radius: 2,
+        }
+    }
+}
+
+/// A rendered heat map: densities plus the rendered pixels.
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    config: HeatmapConfig,
+    /// Accumulated density per cell, row-major, normalized to `[0, 1]`.
+    density: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Render a heat map of `points` under `config`.
+    pub fn render(points: &[Point], config: HeatmapConfig) -> Self {
+        assert!(config.width > 0 && config.height > 0, "empty grid");
+        let mut density = vec![0.0f64; config.width * config.height];
+        let span_x = (config.max.x - config.min.x).max(1e-12);
+        let span_y = (config.max.y - config.min.y).max(1e-12);
+        let r = config.splat_radius as isize;
+        for p in points {
+            let fx = (p.x - config.min.x) / span_x * config.width as f64;
+            let fy = (p.y - config.min.y) / span_y * config.height as f64;
+            let cx = (fx.floor() as isize).clamp(0, config.width as isize - 1);
+            let cy = (fy.floor() as isize).clamp(0, config.height as isize - 1);
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let (x, y) = (cx + dx, cy + dy);
+                    if x < 0 || y < 0 || x >= config.width as isize || y >= config.height as isize
+                    {
+                        continue;
+                    }
+                    // Gaussian falloff with σ ≈ radius/2.
+                    let d2 = (dx * dx + dy * dy) as f64;
+                    let sigma = (config.splat_radius as f64 / 2.0).max(0.5);
+                    let w = (-d2 / (2.0 * sigma * sigma)).exp();
+                    density[y as usize * config.width + x as usize] += w;
+                }
+            }
+        }
+        // Normalize to [0, 1] so maps of different sample sizes compare.
+        let max = density.iter().cloned().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            for d in &mut density {
+                *d /= max;
+            }
+        }
+        Heatmap { config, density }
+    }
+
+    /// The configuration the map was rendered with.
+    pub fn config(&self) -> &HeatmapConfig {
+        &self.config
+    }
+
+    /// Normalized density at `(x, y)`.
+    pub fn density_at(&self, x: usize, y: usize) -> f64 {
+        self.density[y * self.config.width + x]
+    }
+
+    /// The normalized density grid, row-major.
+    pub fn densities(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Mean absolute per-cell difference between two maps rendered with
+    /// the same configuration, in `[0, 1]`. Two maps of the same
+    /// population rendered from a good sample and from the raw data score
+    /// near 0; a map missing a cluster scores visibly higher.
+    pub fn diff(&self, other: &Heatmap) -> f64 {
+        assert_eq!(self.density.len(), other.density.len(), "grid shapes differ");
+        let n = self.density.len() as f64;
+        self.density
+            .iter()
+            .zip(&other.density)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / n
+    }
+
+    /// Fraction of cells that are "hot" (density above `threshold`) in
+    /// `self` but cold in `other` — detects missing clusters
+    /// specifically.
+    pub fn missing_hot_cells(&self, other: &Heatmap, threshold: f64) -> f64 {
+        let hot: usize = self.density.iter().filter(|&&d| d > threshold).count();
+        if hot == 0 {
+            return 0.0;
+        }
+        let missed = self
+            .density
+            .iter()
+            .zip(&other.density)
+            .filter(|(&a, &b)| a > threshold && b <= threshold / 4.0)
+            .count();
+        missed as f64 / hot as f64
+    }
+
+    /// Render to RGB pixels with a perceptual-ish "inferno-like" ramp.
+    pub fn to_rgb(&self) -> Vec<[u8; 3]> {
+        self.density.iter().map(|&d| colormap(d)).collect()
+    }
+
+    /// Serialize as a binary PPM (P6) image.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.density.len() * 3 + 32);
+        out.extend_from_slice(
+            format!("P6\n{} {}\n255\n", self.config.width, self.config.height).as_bytes(),
+        );
+        for px in self.to_rgb() {
+            out.extend_from_slice(&px);
+        }
+        out
+    }
+}
+
+/// Simple dark-blue → orange → yellow ramp.
+fn colormap(v: f64) -> [u8; 3] {
+    let v = v.clamp(0.0, 1.0);
+    let r = (255.0 * (v * 1.6).min(1.0)) as u8;
+    let g = (255.0 * (v * v * 1.2).min(1.0)) as u8;
+    let b = (255.0 * (0.3 + 0.4 * (1.0 - v) - 0.3 * v).clamp(0.0, 1.0)) as u8;
+    [r, g, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(cx: f64, cy: f64, n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.618;
+                Point::new(cx + 0.01 * a.sin(), cy + 0.01 * a.cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn density_concentrates_where_points_are() {
+        let pts = cluster(0.25, 0.25, 200);
+        let hm = Heatmap::render(&pts, HeatmapConfig::default());
+        let near = hm.density_at(32, 32); // (0.25, 0.25) in a 128-grid
+        let far = hm.density_at(100, 100);
+        assert!(near > 0.5, "near {near}");
+        assert!(far < 0.05, "far {far}");
+    }
+
+    #[test]
+    fn identical_point_sets_have_zero_diff() {
+        let pts = cluster(0.5, 0.5, 100);
+        let a = Heatmap::render(&pts, HeatmapConfig::default());
+        let b = Heatmap::render(&pts, HeatmapConfig::default());
+        assert_eq!(a.diff(&b), 0.0);
+    }
+
+    #[test]
+    fn missing_cluster_is_detected() {
+        // Full data: two clusters. Bad sample: only one.
+        let mut full = cluster(0.2, 0.2, 300);
+        full.extend(cluster(0.8, 0.8, 60));
+        let bad_sample = cluster(0.2, 0.2, 50);
+        let cfg = HeatmapConfig::default();
+        let full_map = Heatmap::render(&full, cfg);
+        let bad_map = Heatmap::render(&bad_sample, cfg);
+        let good_sample: Vec<Point> = full.iter().step_by(2).cloned().collect();
+        let good_map = Heatmap::render(&good_sample, cfg);
+        assert!(full_map.diff(&bad_map) > full_map.diff(&good_map));
+        // The minority cluster normalizes to ~0.2 density (60 vs 300
+        // points), so a 0.1 threshold marks it hot; the bad sample misses
+        // it entirely while the uniform sample preserves it.
+        assert!(
+            full_map.missing_hot_cells(&bad_map, 0.1)
+                > full_map.missing_hot_cells(&good_map, 0.1)
+        );
+    }
+
+    #[test]
+    fn empty_input_renders_blank() {
+        let hm = Heatmap::render(&[], HeatmapConfig::default());
+        assert!(hm.densities().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp_into_the_grid() {
+        let pts = vec![Point::new(-5.0, 0.5), Point::new(5.0, 0.5)];
+        let hm = Heatmap::render(&pts, HeatmapConfig::default());
+        // Mass lands on the left/right edges rather than vanishing.
+        let left: f64 = (0..128).map(|y| hm.density_at(0, y)).sum();
+        let right: f64 = (0..128).map(|y| hm.density_at(127, y)).sum();
+        assert!(left > 0.0 && right > 0.0);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let pts = cluster(0.5, 0.5, 10);
+        let cfg = HeatmapConfig { width: 16, height: 8, ..Default::default() };
+        let ppm = Heatmap::render(&pts, cfg).to_ppm();
+        assert!(ppm.starts_with(b"P6\n16 8\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n16 8\n255\n".len() + 16 * 8 * 3);
+    }
+
+    #[test]
+    fn splat_radius_zero_is_plain_binning() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let cfg = HeatmapConfig { splat_radius: 0, ..Default::default() };
+        let hm = Heatmap::render(&pts, cfg);
+        let nonzero = hm.densities().iter().filter(|&&d| d > 0.0).count();
+        assert_eq!(nonzero, 1);
+    }
+}

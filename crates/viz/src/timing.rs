@@ -1,0 +1,67 @@
+//! Timing helpers for the data-to-visualization breakdown.
+
+use std::time::{Duration, Instant};
+
+/// Run `f`, returning its result and elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Accumulates repeated measurements of one phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    total: Duration,
+    count: u64,
+}
+
+impl PhaseTimer {
+    /// Fold in one measurement.
+    pub fn record(&mut self, d: Duration) {
+        self.total += d;
+        self.count += 1;
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Mean time per measurement (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// Number of measurements.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, d) = timed(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn phase_timer_accumulates() {
+        let mut t = PhaseTimer::default();
+        assert_eq!(t.mean(), Duration::ZERO);
+        t.record(Duration::from_millis(10));
+        t.record(Duration::from_millis(30));
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.total(), Duration::from_millis(40));
+        assert_eq!(t.mean(), Duration::from_millis(20));
+    }
+}

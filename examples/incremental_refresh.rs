@@ -1,0 +1,92 @@
+//! Incremental cube maintenance: the dashboard keeps serving guaranteed
+//! samples while new taxi rides stream in. `tabula::core::refresh` reuses
+//! every local sample whose cell the appended rows did not touch and
+//! resamples only what changed — instead of rebuilding the cube from
+//! scratch.
+//!
+//! ```bash
+//! cargo run --release --example incremental_refresh
+//! ```
+
+use std::sync::Arc;
+use tabula::core::loss::{AccuracyLoss, HeatmapLoss, Metric};
+use tabula::core::{refresh, RefreshConfig, SamplingCubeBuilder};
+use tabula::data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula::storage::TableBuilder;
+use tabula::viz::timed;
+
+fn main() {
+    // Day 1: 60 k rides.
+    let day1 = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 60_000, seed: 71 }).generate());
+    let pickup = day1.schema().index_of("pickup").unwrap();
+    let loss = HeatmapLoss::new(pickup, Metric::Euclidean);
+    let theta = tabula::data::meters_to_norm(400.0);
+    let attrs = &CUBED_ATTRIBUTES[..5];
+
+    let (cube, t_build) = timed(|| {
+        SamplingCubeBuilder::new(Arc::clone(&day1), attrs, loss.clone(), theta)
+            .seed(7)
+            .build()
+            .unwrap()
+    });
+    println!(
+        "day 1: built over {} rows in {t_build:.2?} ({} iceberg cells, {} samples)",
+        day1.len(),
+        cube.stats().iceberg_cells,
+        cube.persisted_samples()
+    );
+
+    // Overnight: 3 k new rides arrive. Extend the table (old rows first).
+    let fresh = TaxiGenerator::new(TaxiConfig { rows: 3_000, seed: 72 }).generate();
+    let mut b = TableBuilder::with_capacity(day1.schema().clone(), day1.len() + fresh.len());
+    for r in 0..day1.len() {
+        b.push_row(&day1.row(r)).unwrap();
+    }
+    for r in 0..fresh.len() {
+        b.push_row(&fresh.row(r)).unwrap();
+    }
+    let day2 = Arc::new(b.finish());
+
+    let ((refreshed, stats), t_refresh) = timed(|| {
+        refresh(&cube, Arc::clone(&day2), &loss, RefreshConfig { seed: 7, ..Default::default() })
+            .unwrap()
+    });
+    println!(
+        "day 2: refreshed over {} rows in {t_refresh:.2?} — {} cells reused, {} resampled, \
+         {} retired",
+        day2.len(),
+        stats.reused_cells,
+        stats.resampled_cells,
+        stats.retired_cells
+    );
+
+    // Compare with a from-scratch rebuild.
+    let (_, t_rebuild) = timed(|| {
+        SamplingCubeBuilder::new(Arc::clone(&day2), attrs, loss.clone(), theta)
+            .seed(7)
+            .build()
+            .unwrap()
+    });
+    println!("from-scratch rebuild takes {t_rebuild:.2?} for comparison");
+    println!(
+        "(the win is the {} cells served without touching their data; wall-clock \
+savings grow with tighter θ, larger cells and localized appends — uniform \
+appends touch every coarse cell, which must be resampled)",
+        stats.reused_cells
+    );
+
+    // The guarantee holds on the refreshed cube, over the new table.
+    let workload = Workload::new(attrs);
+    let queries = workload.generate(&day2, 50, 99).unwrap();
+    let mut worst: f64 = 0.0;
+    for q in &queries {
+        let raw = q.predicate.filter(&day2).unwrap();
+        let ans = refreshed.query_cell(&q.cell);
+        worst = worst.max(loss.loss(&day2, &raw, &ans.rows));
+    }
+    println!("worst actual loss over 50 random queries: {worst:.5} (θ = {theta:.4})");
+    assert!(worst <= theta + 1e-9);
+    // Savings grow when appends are localized (fine cells dominate the
+    // sampling cost under visualization losses); uniform appends still
+    // touch every coarse cell, which is resampled.
+}

@@ -1,0 +1,71 @@
+//! A scripted SQL session against the Tabula middleware — the exact
+//! statement flow a dashboard integration would issue (paper Section II).
+//!
+//! ```bash
+//! cargo run --release --example sql_session
+//! ```
+
+use std::sync::Arc;
+use tabula::data::{TaxiConfig, TaxiGenerator};
+use tabula::sql::{QueryResult, Session};
+
+fn main() {
+    let mut session = Session::new().with_seed(2);
+    session.register_table(
+        "nyctaxi",
+        Arc::new(TaxiGenerator::new(TaxiConfig { rows: 100_000, seed: 2 }).generate()),
+    );
+
+    let script = [
+        // Declare the paper's Function 1 as a user aggregate.
+        "CREATE AGGREGATE fare_mean_loss(Raw, Sam) RETURN decimal_value AS \
+         BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END",
+        // Paper Query 1 — initialize the sampling cube.
+        "CREATE TABLE SamplingCube AS \
+         SELECT payment_type, passenger_count, rate_code, SAMPLING(*, 0.05) AS sample \
+         FROM nyctaxi GROUPBY CUBE(payment_type, passenger_count, rate_code) \
+         HAVING fare_mean_loss(fare_amount, Sam_global) > 0.05",
+        // Paper Query 2 — the dashboard's interactions.
+        "SELECT sample FROM SamplingCube WHERE payment_type = 'cash'",
+        "SELECT sample FROM SamplingCube WHERE payment_type = 'credit' AND passenger_count = 2",
+        "SELECT sample FROM SamplingCube WHERE rate_code = 'jfk'",
+        // A raw-table scan for comparison.
+        "SELECT * FROM nyctaxi WHERE rate_code = 'jfk' AND payment_type = 'cash'",
+    ];
+
+    for sql in script {
+        println!("tabula> {sql}");
+        match session.execute(sql) {
+            Ok(QueryResult::AggregateCreated(name)) => {
+                println!("  loss function {name} registered\n");
+            }
+            Ok(QueryResult::CubeCreated { name, stats }) => {
+                println!(
+                    "  cube {name} created in {:.2?}: {} cells ({} iceberg), \
+                     {} representative samples persisted\n",
+                    stats.total,
+                    stats.total_cells,
+                    stats.iceberg_cells,
+                    stats.samples_after_selection
+                );
+            }
+            Ok(QueryResult::Sample { table, provenance }) => {
+                let fares = table
+                    .column_by_name("fare_amount")
+                    .unwrap()
+                    .as_f64_slice()
+                    .unwrap();
+                let mean = fares.iter().sum::<f64>() / fares.len().max(1) as f64;
+                println!(
+                    "  {} sample tuples ({provenance:?}); AVG(fare) on sample = ${mean:.2}\n",
+                    table.len()
+                );
+            }
+            Ok(QueryResult::Table(table)) => {
+                println!("  {} raw tuples\n", table.len());
+            }
+            Ok(other) => println!("  {other:?}\n"),
+            Err(e) => println!("  ERROR: {e}\n"),
+        }
+    }
+}

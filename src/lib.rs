@@ -1,0 +1,18 @@
+//! # Tabula
+//!
+//! Facade crate re-exporting the whole Tabula workspace. See the README for
+//! a guided tour; the sub-crates are:
+//!
+//! * [`storage`] — in-memory columnar engine (the "data system" substrate),
+//! * [`data`] — synthetic NYC-taxi generator and query workloads,
+//! * [`core`] — the paper's contribution: the materialized sampling cube,
+//! * [`sql`] — the SQL dialect front-end,
+//! * [`viz`] — visualization substrate (heat maps, histograms, regression),
+//! * [`baselines`] — the eight compared approaches of the paper's Section V.
+
+pub use tabula_baselines as baselines;
+pub use tabula_core as core;
+pub use tabula_data as data;
+pub use tabula_sql as sql;
+pub use tabula_storage as storage;
+pub use tabula_viz as viz;
