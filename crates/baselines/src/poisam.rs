@@ -10,8 +10,8 @@
 use crate::{Approach, ApproachAnswer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use tabula_core::loss::AccuracyLoss;
 use tabula_core::SerflingConfig;
@@ -34,8 +34,7 @@ impl<L: AccuracyLoss> PoiSam<L> {
     /// sized by the law of large numbers at 5 % error / 10 % failure
     /// probability.
     pub fn new(table: Arc<Table>, loss: L, theta: f64, seed: u64) -> Self {
-        let presample_size =
-            SerflingConfig { epsilon: 0.05, delta: 0.10 }.sample_size();
+        let presample_size = SerflingConfig { epsilon: 0.05, delta: 0.10 }.sample_size();
         PoiSam { table, loss, theta, presample_size, counter: AtomicU64::new(0), base_seed: seed }
     }
 
@@ -57,9 +56,7 @@ impl<L: AccuracyLoss> Approach for PoiSam<L> {
 
     fn query(&self, pred: &Predicate) -> ApproachAnswer {
         let start = Instant::now();
-        let raw = pred
-            .filter(&self.table)
-            .expect("workload predicates reference valid columns");
+        let raw = pred.filter(&self.table).expect("workload predicates reference valid columns");
         // Random pre-sample of the query result.
         let nth = self.counter.fetch_add(1, Ordering::Relaxed);
         let mut rng = SmallRng::seed_from_u64(self.base_seed.wrapping_add(nth));
@@ -109,8 +106,7 @@ mod tests {
         let t = table();
         let fare = t.schema().index_of("fare_amount").unwrap();
         let loss = HistogramLoss::new(fare);
-        let poisam =
-            PoiSam::new(Arc::clone(&t), loss, 0.25, 9).with_presample_size(50);
+        let poisam = PoiSam::new(Arc::clone(&t), loss, 0.25, 9).with_presample_size(50);
         let ans = poisam.query(&Predicate::all());
         assert!(ans.rows.len() <= 50);
     }

@@ -135,11 +135,8 @@ impl SnappyLike {
         // Error bound unmet: scan the raw table for the exact answer.
         let raw = pred.filter(&self.table).expect("valid predicate");
         let values = self.values(&raw);
-        let avg = if values.is_empty() {
-            0.0
-        } else {
-            values.iter().sum::<f64>() / values.len() as f64
-        };
+        let avg =
+            if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 };
         AvgAnswer {
             avg,
             estimated_error: 0.0,

@@ -19,10 +19,8 @@ fn bench_build(c: &mut Criterion) {
         let table = taxi_table(rows);
         let fare = table.schema().index_of("fare_amount").unwrap();
         let loss = MeanLoss::new(fare);
-        let cols: Vec<usize> = CUBED_ATTRIBUTES[..5]
-            .iter()
-            .map(|a| table.schema().index_of(a).unwrap())
-            .collect();
+        let cols: Vec<usize> =
+            CUBED_ATTRIBUTES[..5].iter().map(|a| table.schema().index_of(a).unwrap()).collect();
         let global = draw_global_sample(&table, 1060, SEED);
         let ctx = loss.prepare(&table, &global);
 

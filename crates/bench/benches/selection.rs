@@ -19,10 +19,8 @@ fn bench_selection(c: &mut Criterion) {
     let fare = table.schema().index_of("fare_amount").unwrap();
     let loss = MeanLoss::new(fare);
     let theta = 0.05;
-    let cols: Vec<usize> = CUBED_ATTRIBUTES[..5]
-        .iter()
-        .map(|a| table.schema().index_of(a).unwrap())
-        .collect();
+    let cols: Vec<usize> =
+        CUBED_ATTRIBUTES[..5].iter().map(|a| table.schema().index_of(a).unwrap()).collect();
     let global = draw_global_sample(&table, 1060, SEED);
     let ctx = loss.prepare(&table, &global);
     let dry = dry_run(&table, &cols, &loss, &ctx, theta).unwrap();
@@ -33,22 +31,15 @@ fn bench_selection(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("samgraph_join_mean", m), |b| {
         b.iter(|| {
-            black_box(build_samgraph(
-                &table,
-                &loss,
-                theta,
-                &rr.entries,
-                &SamGraphConfig::default(),
-            ))
+            black_box(build_samgraph(&table, &loss, theta, &rr.entries, &SamGraphConfig::default()))
         })
     });
 
     let graph: SamGraph =
         build_samgraph(&table, &loss, theta, &rr.entries, &SamGraphConfig::default());
-    group.bench_function(
-        BenchmarkId::new("algorithm3_greedy_dominating_set", graph.len()),
-        |b| b.iter(|| black_box(select_representatives(&graph))),
-    );
+    group.bench_function(BenchmarkId::new("algorithm3_greedy_dominating_set", graph.len()), |b| {
+        b.iter(|| black_box(select_representatives(&graph)))
+    });
     group.finish();
 }
 

@@ -26,10 +26,8 @@ fn main() {
     let fare = table.schema().index_of("fare_amount").unwrap();
     let loss = MeanLoss::new(fare);
     let theta = 0.05;
-    let cols: Vec<usize> = CUBED_ATTRIBUTES[..5]
-        .iter()
-        .map(|a| table.schema().index_of(a).unwrap())
-        .collect();
+    let cols: Vec<usize> =
+        CUBED_ATTRIBUTES[..5].iter().map(|a| table.schema().index_of(a).unwrap()).collect();
     let global = draw_global_sample(&table, 1060, SEED);
     let ctx = loss.prepare(&table, &global);
     let dry = dry_run(&table, &cols, &loss, &ctx, theta).unwrap();

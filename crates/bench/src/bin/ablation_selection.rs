@@ -39,11 +39,8 @@ fn main() {
         .seed(SEED)
         .build()
         .unwrap();
-        let label = if cap == usize::MAX {
-            "exhaustive".to_owned()
-        } else {
-            format!("cap = {cap}")
-        };
+        let label =
+            if cap == usize::MAX { "exhaustive".to_owned() } else { format!("cap = {cap}") };
         println!(
             "{label:<22} {:>12} {:>12} {:>12} {:>12}",
             fmt_duration(cube.stats().selection),

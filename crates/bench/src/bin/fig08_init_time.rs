@@ -4,6 +4,11 @@
 //! mean (8b) and regression (8c) loss functions — and as the number of
 //! cubed attributes grows at fixed θ (8d, histogram loss).
 //!
+//! Every build runs against a private `tabula-obs` registry; the printed
+//! stage breakdown and the machine-readable `BENCH_fig08_init_time.json`
+//! summary both come from that registry's snapshot rather than ad-hoc
+//! `Instant` bookkeeping.
+//!
 //! ```bash
 //! cargo run --release -p tabula-bench --bin fig08_init_time -- heatmap
 //! cargo run --release -p tabula-bench --bin fig08_init_time -- mean
@@ -12,35 +17,87 @@
 //! cargo run --release -p tabula-bench --bin fig08_init_time        # all four
 //! ```
 
+use serde::Value;
+use std::collections::BTreeMap;
 use std::sync::Arc;
-use tabula_bench::{default_rows, fmt_duration, taxi_table, SEED};
+use std::time::Duration;
+use tabula_bench::{default_rows, fmt_duration, taxi_table, write_run_summary, SEED};
 use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
 use tabula_core::{AccuracyLoss, SamplingCubeBuilder};
 use tabula_data::{meters_to_norm, CUBED_ATTRIBUTES};
+use tabula_obs as obs;
 use tabula_storage::Table;
 
-fn build_and_report<L: AccuracyLoss>(
-    table: &Arc<Table>,
-    attrs: &[&str],
-    loss: L,
-    theta: f64,
-    theta_label: &str,
-) {
-    let cube = SamplingCubeBuilder::new(Arc::clone(table), attrs, loss, theta)
-        .seed(SEED)
-        .build()
-        .expect("build succeeds");
-    let s = cube.stats();
-    println!(
-        "{theta_label:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
-        fmt_duration(s.dry_run),
-        fmt_duration(s.real_run),
-        fmt_duration(s.selection),
-        fmt_duration(s.total),
-        s.total_cells,
-        s.iceberg_cells,
-        s.samples_after_selection,
-    );
+/// Accumulates the run's aggregate stage histograms and JSON result rows
+/// across every cube built by this binary.
+struct Report {
+    aggregate: obs::Registry,
+    results: Vec<Value>,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report { aggregate: obs::Registry::new(), results: Vec::new() }
+    }
+
+    /// Build one cube against a private metrics registry, print the stage
+    /// row derived from its snapshot, fold the stage latencies into the
+    /// aggregate, and append a JSON row.
+    fn build_and_report<L: AccuracyLoss>(
+        &mut self,
+        table: &Arc<Table>,
+        attrs: &[&str],
+        loss: L,
+        theta: f64,
+        figure: &str,
+        theta_label: &str,
+    ) {
+        let registry = Arc::new(obs::Registry::new());
+        let _cube = SamplingCubeBuilder::new(Arc::clone(table), attrs, loss, theta)
+            .seed(SEED)
+            .registry(Arc::clone(&registry))
+            .build()
+            .expect("build succeeds");
+        let snap = registry.snapshot();
+        let stage_ns = |name: &str| snap.histograms.get(name).map_or(0, |h| h.sum_ns);
+        let gauge = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+        let (dry, real, sel, total) = (
+            stage_ns("build.dry_run"),
+            stage_ns("build.real_run"),
+            stage_ns("build.selection"),
+            stage_ns("build.total"),
+        );
+        println!(
+            "{theta_label:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+            fmt_duration(Duration::from_nanos(dry)),
+            fmt_duration(Duration::from_nanos(real)),
+            fmt_duration(Duration::from_nanos(sel)),
+            fmt_duration(Duration::from_nanos(total)),
+            gauge("cube.total_cells"),
+            gauge("cube.iceberg_cells"),
+            gauge("cube.samples_after_selection"),
+        );
+        for (stage, ns) in [
+            ("build.dry_run", dry),
+            ("build.real_run", real),
+            ("build.selection", sel),
+            ("build.total", total),
+        ] {
+            self.aggregate.histogram(stage).record(ns);
+        }
+        let mut row = BTreeMap::new();
+        row.insert("figure".to_owned(), Value::Str(figure.to_owned()));
+        row.insert("theta".to_owned(), Value::Str(theta_label.to_owned()));
+        row.insert("attrs".to_owned(), Value::Int(attrs.len() as i128));
+        row.insert("dry_run_ns".to_owned(), Value::Int(dry as i128));
+        row.insert("real_run_ns".to_owned(), Value::Int(real as i128));
+        row.insert("selection_ns".to_owned(), Value::Int(sel as i128));
+        row.insert("total_ns".to_owned(), Value::Int(total as i128));
+        row.insert("cells".to_owned(), Value::Int(gauge("cube.total_cells") as i128));
+        row.insert("icebergs".to_owned(), Value::Int(gauge("cube.iceberg_cells") as i128));
+        row.insert("samples".to_owned(), Value::Int(gauge("cube.samples_after_selection") as i128));
+        self.results.push(Value::Obj(row));
+    }
 }
 
 fn header(title: &str) {
@@ -62,14 +119,17 @@ fn main() {
     let fare = table.schema().index_of("fare_amount").unwrap();
     let tip = table.schema().index_of("tip_amount").unwrap();
 
+    let mut report = Report::new();
+
     if which == "all" || which == "heatmap" {
         header("Fig 8a: init time vs θ — geospatial heatmap-aware loss");
         for meters in [2000.0, 1000.0, 500.0, 250.0] {
-            build_and_report(
+            report.build_and_report(
                 &table,
                 &attrs5,
                 HeatmapLoss::new(pickup, Metric::Euclidean),
                 meters_to_norm(meters),
+                "8a",
                 &format!("{meters}m"),
             );
         }
@@ -77,11 +137,12 @@ fn main() {
     if which == "all" || which == "mean" {
         header("Fig 8b: init time vs θ — statistical mean loss");
         for pct in [10.0, 5.0, 2.5, 1.0] {
-            build_and_report(
+            report.build_and_report(
                 &table,
                 &attrs5,
                 MeanLoss::new(fare),
                 pct / 100.0,
+                "8b",
                 &format!("{pct}%"),
             );
         }
@@ -89,11 +150,12 @@ fn main() {
     if which == "all" || which == "regression" {
         header("Fig 8c: init time vs θ — linear regression loss");
         for degrees in [10.0, 5.0, 2.5, 1.0] {
-            build_and_report(
+            report.build_and_report(
                 &table,
                 &attrs5,
                 RegressionLoss::new(fare, tip),
                 degrees,
+                "8c",
                 &format!("{degrees}°"),
             );
         }
@@ -102,13 +164,23 @@ fn main() {
         header("Fig 8d: init time vs #attributes — histogram loss, θ = $0.5");
         for n in 4..=7 {
             let attrs: Vec<&str> = CUBED_ATTRIBUTES[..n].to_vec();
-            build_and_report(
+            report.build_and_report(
                 &table,
                 &attrs,
                 HistogramLoss::new(fare),
                 0.5,
+                "8d",
                 &format!("{n} attrs"),
             );
         }
+    }
+
+    match write_run_summary(
+        "fig08_init_time",
+        &report.aggregate.snapshot(),
+        &[("results", Value::Arr(report.results))],
+    ) {
+        Ok(path) => println!("\nrun summary written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write run summary: {e}"),
     }
 }

@@ -17,10 +17,8 @@ use tabula_data::CUBED_ATTRIBUTES;
 fn main() {
     // Deliberately smaller than the other figures, mirroring the paper's
     // reduced 5 GB dataset for this comparison.
-    let rows: usize = std::env::var("TABULA_BENCH_ROWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5_000);
+    let rows: usize =
+        std::env::var("TABULA_BENCH_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(5_000);
     let table = taxi_table(rows);
     let fare = table.schema().index_of("fare_amount").unwrap();
     let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();

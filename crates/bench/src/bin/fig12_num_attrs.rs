@@ -17,7 +17,9 @@ fn main() {
     let table = taxi_table(rows);
     let fare = table.schema().index_of("fare_amount").unwrap();
     let theta = 0.5;
-    println!("# Figure 12 | histogram-aware loss, θ = $0.5 | rows = {rows} | loss unit: US dollars");
+    println!(
+        "# Figure 12 | histogram-aware loss, θ = $0.5 | rows = {rows} | loss unit: US dollars"
+    );
     for n in 4..=7 {
         let attrs: Vec<&str> = CUBED_ATTRIBUTES[..n].to_vec();
         let queries = workload(&table, &attrs, default_queries());

@@ -23,13 +23,8 @@ fn main() {
         queries.len()
     );
     for degrees in [10.0, 5.0, 2.5, 1.0] {
-        let results = standard_comparison(
-            &table,
-            &attrs,
-            RegressionLoss::new(fare, tip),
-            degrees,
-            &queries,
-        );
+        let results =
+            standard_comparison(&table, &attrs, RegressionLoss::new(fare, tip), degrees, &queries);
         print_comparison(&format!("{degrees}°"), degrees, &results);
     }
 }

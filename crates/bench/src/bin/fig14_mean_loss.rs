@@ -7,6 +7,7 @@
 //! cargo run --release -p tabula-bench --bin fig14_mean_loss
 //! ```
 
+use std::sync::Arc;
 use tabula_baselines::SnappyLike;
 use tabula_bench::{
     default_queries, default_rows, fmt_duration, mean_duration, print_comparison,
@@ -14,7 +15,6 @@ use tabula_bench::{
 };
 use tabula_core::loss::MeanLoss;
 use tabula_data::CUBED_ATTRIBUTES;
-use std::sync::Arc;
 
 fn main() {
     let rows = default_rows();
@@ -29,20 +29,12 @@ fn main() {
     );
     for pct in [10.0, 5.0, 2.5, 1.0] {
         let theta = pct / 100.0;
-        let results =
-            standard_comparison(&table, &attrs, MeanLoss::new(fare_idx), theta, &queries);
+        let results = standard_comparison(&table, &attrs, MeanLoss::new(fare_idx), theta, &queries);
         print_comparison(&format!("{pct}%"), theta, &results);
 
         // SnappyData answers AVG directly; measure its error & fallbacks.
-        let snappy = SnappyLike::build(
-            Arc::clone(&table),
-            &attrs,
-            "fare_amount",
-            50,
-            theta,
-            SEED,
-        )
-        .expect("snappy builds");
+        let snappy = SnappyLike::build(Arc::clone(&table), &attrs, "fare_amount", 50, theta, SEED)
+            .expect("snappy builds");
         let mut times = Vec::new();
         let mut losses = Vec::new();
         let mut fallbacks = 0usize;
@@ -50,8 +42,7 @@ fn main() {
             let ans = snappy.query_avg(&q.predicate);
             times.push(ans.data_system_time);
             let raw = q.predicate.filter(&table).unwrap();
-            let exact: f64 =
-                raw.iter().map(|&r| fares[r as usize]).sum::<f64>() / raw.len() as f64;
+            let exact: f64 = raw.iter().map(|&r| fares[r as usize]).sum::<f64>() / raw.len() as f64;
             losses.push(((exact - ans.avg) / exact).abs());
             fallbacks += usize::from(ans.fell_back_to_raw);
         }

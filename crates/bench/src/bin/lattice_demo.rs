@@ -56,11 +56,7 @@ fn main() {
         let name: String = if attrs.is_empty() {
             "ALL".into()
         } else {
-            attrs
-                .iter()
-                .map(|&a| ["D", "C", "M"][a])
-                .collect::<Vec<_>>()
-                .join(",")
+            attrs.iter().map(|&a| ["D", "C", "M"][a]).collect::<Vec<_>>().join(",")
         };
         let marker = if summary.iceberg_cells > 0 { " *" } else { "" };
         println!(

@@ -8,15 +8,18 @@
 //! cargo run --release -p tabula-bench --bin table2_vis_time
 //! ```
 
+use serde::Value;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 use tabula_baselines::{Approach, PoiSam, SampleFirst, SampleOnTheFly};
 use tabula_bench::{
-    default_queries, default_rows, fmt_duration, mean_duration, taxi_table, workload, SEED,
+    default_queries, default_rows, fmt_duration, taxi_table, workload, write_run_summary, SEED,
 };
 use tabula_core::loss::{HeatmapLoss, MeanLoss, Metric, RegressionLoss};
 use tabula_core::{AccuracyLoss, SamplingCubeBuilder};
 use tabula_data::{meters_to_norm, QueryCell, CUBED_ATTRIBUTES};
+use tabula_obs as obs;
 use tabula_storage::{Point, RowId, Table};
 use tabula_viz::{mean_of, timed, Heatmap, HeatmapConfig, RegressionFit};
 
@@ -37,32 +40,35 @@ impl Task {
         }
     }
 
+    /// Identifier-safe name for JSON keys.
+    fn slug(self) -> &'static str {
+        match self {
+            Task::Heatmap => "heatmap",
+            Task::Mean => "mean",
+            Task::Regression => "regression",
+        }
+    }
+
     /// Run the visual analysis on `rows`, returning only its wall time.
     fn run(self, table: &Table, rows: &[RowId]) -> Duration {
         match self {
             Task::Heatmap => {
                 let pts: Vec<Point> = {
-                    let col =
-                        table.column_by_name("pickup").unwrap().as_point_slice().unwrap();
+                    let col = table.column_by_name("pickup").unwrap().as_point_slice().unwrap();
                     rows.iter().map(|&r| col[r as usize]).collect()
                 };
                 timed(|| Heatmap::render(&pts, HeatmapConfig::default())).1
             }
             Task::Mean => {
-                let fares =
-                    table.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
+                let fares = table.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
                 let values: Vec<f64> = rows.iter().map(|&r| fares[r as usize]).collect();
                 timed(|| mean_of(&values)).1
             }
             Task::Regression => {
-                let fares =
-                    table.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
-                let tips =
-                    table.column_by_name("tip_amount").unwrap().as_f64_slice().unwrap();
-                let xy: Vec<(f64, f64)> = rows
-                    .iter()
-                    .map(|&r| (fares[r as usize], tips[r as usize]))
-                    .collect();
+                let fares = table.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
+                let tips = table.column_by_name("tip_amount").unwrap().as_f64_slice().unwrap();
+                let xy: Vec<(f64, f64)> =
+                    rows.iter().map(|&r| (fares[r as usize], tips[r as usize])).collect();
                 timed(|| RegressionFit::fit(&xy)).1
             }
         }
@@ -70,16 +76,19 @@ impl Task {
 }
 
 /// Per-approach mean visualization time over a workload, given a closure
-/// producing the answer rows.
+/// producing the answer rows. Accumulates through an [`obs::PhaseTimer`]
+/// instead of hand-rolled `Vec<Duration>` averaging.
 fn measure(
     table: &Table,
     queries: &[QueryCell],
     task: Task,
     mut answer: impl FnMut(&QueryCell) -> Vec<RowId>,
 ) -> Duration {
-    let times: Vec<Duration> =
-        queries.iter().map(|q| task.run(table, &answer(q))).collect();
-    mean_duration(&times)
+    let mut timer = obs::PhaseTimer::new();
+    for q in queries {
+        timer.record(task.run(table, &answer(q)));
+    }
+    timer.mean()
 }
 
 fn main() {
@@ -90,22 +99,13 @@ fn main() {
     let pickup = table.schema().index_of("pickup").unwrap();
     let fare = table.schema().index_of("fare_amount").unwrap();
     let tip = table.schema().index_of("tip_amount").unwrap();
-    println!(
-        "# Table II | sample visualization time | rows = {rows} | {} queries",
-        queries.len()
-    );
-    println!(
-        "\n{:<18} {:>14} {:>14} {:>14}",
-        "approach", "heat map", "stat. mean", "regression"
-    );
+    println!("# Table II | sample visualization time | rows = {rows} | {} queries", queries.len());
+    println!("\n{:<18} {:>14} {:>14} {:>14}", "approach", "heat map", "stat. mean", "regression");
     println!("{}", "-".repeat(64));
 
     // Measure per (approach × task), at the tightest θ per loss fn.
-    let tasks: [(Task, f64); 3] = [
-        (Task::Heatmap, meters_to_norm(250.0)),
-        (Task::Mean, 0.01),
-        (Task::Regression, 1.0),
-    ];
+    let tasks: [(Task, f64); 3] =
+        [(Task::Heatmap, meters_to_norm(250.0)), (Task::Mean, 0.01), (Task::Regression, 1.0)];
 
     let small = (table.len() / 1000).max(100);
     let large = (table.len() / 100).max(1000);
@@ -140,13 +140,31 @@ fn main() {
         }
         rows_out.push((label, cols));
     }
-    for (label, cols) in rows_out {
+    let mut results = Vec::new();
+    for (label, cols) in &rows_out {
         println!(
             "{label:<18} {:>14} {:>14} {:>14}",
             fmt_duration(cols[0]),
             fmt_duration(cols[1]),
             fmt_duration(cols[2])
         );
+        let mut row = BTreeMap::new();
+        row.insert("approach".to_owned(), Value::Str(label.clone()));
+        for (&(task, _), d) in tasks.iter().zip(cols) {
+            row.insert(format!("{}_mean_ns", task.slug()), Value::Int(d.as_nanos() as i128));
+        }
+        results.push(Value::Obj(row));
+    }
+
+    // The cube builds and query_cell lookups above reported into the
+    // global obs registry; embed that snapshot alongside the table rows.
+    match write_run_summary(
+        "table2_vis_time",
+        &obs::global().snapshot(),
+        &[("queries", Value::Int(queries.len() as i128)), ("results", Value::Arr(results))],
+    ) {
+        Ok(path) => println!("\nrun summary written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write run summary: {e}"),
     }
 }
 
@@ -184,8 +202,6 @@ fn measure_with<L: AccuracyLoss + Clone>(
                 .expect("build succeeds");
             measure(table, queries, task, |q| cube.query_cell(&q.cell).rows.as_ref().clone())
         }
-        _ => measure(table, queries, task, |q| {
-            q.predicate.filter(table).expect("valid predicate")
-        }),
+        _ => measure(table, queries, task, |q| q.predicate.filter(table).expect("valid predicate")),
     }
 }

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use tabula_core::cube::SamplingCube;
 use tabula_core::loss::AccuracyLoss;
 use tabula_data::{QueryCell, TaxiConfig, TaxiGenerator, Workload};
+use tabula_obs as obs;
 use tabula_storage::{RowId, Table};
 
 /// Default table size for harness runs.
@@ -30,10 +31,7 @@ pub const SEED: u64 = 42;
 
 /// Rows to generate: `TABULA_BENCH_ROWS` env var or [`DEFAULT_ROWS`].
 pub fn default_rows() -> usize {
-    std::env::var("TABULA_BENCH_ROWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_ROWS)
+    std::env::var("TABULA_BENCH_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_ROWS)
 }
 
 /// Queries per workload: `TABULA_BENCH_QUERIES` env var or 100.
@@ -51,9 +49,7 @@ pub fn taxi_table(rows: usize) -> Arc<Table> {
 
 /// Generate the standard `n`-query workload over `attrs`.
 pub fn workload(table: &Table, attrs: &[&str], n: usize) -> Vec<QueryCell> {
-    Workload::new(attrs)
-        .generate(table, n, SEED ^ 0xBEEF)
-        .expect("workload generation succeeds")
+    Workload::new(attrs).generate(table, n, SEED ^ 0xBEEF).expect("workload generation succeeds")
 }
 
 /// Mean duration of a slice of durations.
@@ -82,8 +78,7 @@ impl WorkloadResult {
     /// min / mean / max of the measured losses (∞-free; infinite losses
     /// are excluded and counted separately by callers if needed).
     pub fn loss_summary(&self) -> (f64, f64, f64) {
-        let finite: Vec<f64> =
-            self.losses.iter().copied().filter(|l| l.is_finite()).collect();
+        let finite: Vec<f64> = self.losses.iter().copied().filter(|l| l.is_finite()).collect();
         if finite.is_empty() {
             return (0.0, 0.0, 0.0);
         }
@@ -130,10 +125,12 @@ pub fn run_cube_workload<L: AccuracyLoss>(
     queries: &[QueryCell],
     loss: &L,
 ) -> WorkloadResult {
+    let latency = obs::global().histogram("query.latency");
     run_workload(name, table, queries, loss, |q| {
         let start = Instant::now();
         let ans = cube.query_cell(&q.cell);
         let t = start.elapsed();
+        latency.record_duration(t);
         (ans.rows.as_ref().clone(), t)
     })
 }
@@ -156,10 +153,8 @@ pub fn standard_comparison<L: AccuracyLoss + Clone>(
 
     let small = (table.len() / 1000).max(100);
     let large = (table.len() / 100).max(1000);
-    let sf_small =
-        SampleFirst::with_rows(Arc::clone(table), small, SEED).named("SamFirst-0.1%");
-    let sf_large =
-        SampleFirst::with_rows(Arc::clone(table), large, SEED).named("SamFirst-1%");
+    let sf_small = SampleFirst::with_rows(Arc::clone(table), small, SEED).named("SamFirst-0.1%");
+    let sf_large = SampleFirst::with_rows(Arc::clone(table), large, SEED).named("SamFirst-1%");
     for sf in [&sf_small, &sf_large] {
         out.push(run_workload(sf.name(), table, queries, &loss, |q| {
             let a = sf.query(&q.predicate);
@@ -179,10 +174,9 @@ pub fn standard_comparison<L: AccuracyLoss + Clone>(
         (a.rows, a.data_system_time)
     }));
 
-    for (name, mode) in [
-        ("Tabula", MaterializationMode::Tabula),
-        ("Tabula*", MaterializationMode::TabulaStar),
-    ] {
+    for (name, mode) in
+        [("Tabula", MaterializationMode::Tabula), ("Tabula*", MaterializationMode::TabulaStar)]
+    {
         let cube = SamplingCubeBuilder::new(Arc::clone(table), attrs, loss.clone(), theta)
             .mode(mode)
             .seed(SEED)
@@ -239,6 +233,38 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Write a machine-readable run summary for one benchmark binary.
+///
+/// The file is named `BENCH_<name>.json` and lands in `TABULA_BENCH_OUT`
+/// (created if needed) or the current directory. It embeds the full
+/// [`obs::MetricsSnapshot`] (counters, gauges, latency quantiles) plus
+/// any experiment-specific `extra` key/value pairs, so dashboards and CI
+/// can diff runs without scraping the human-readable stdout tables.
+pub fn write_run_summary(
+    name: &str,
+    snapshot: &obs::MetricsSnapshot,
+    extra: &[(&str, serde::Value)],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let bad = |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0);
+    let mut root = std::collections::BTreeMap::new();
+    root.insert("bench".to_owned(), Value::Str(name.to_owned()));
+    root.insert("rows".to_owned(), Value::Int(default_rows() as i128));
+    for (k, v) in extra {
+        root.insert((*k).to_owned(), v.clone());
+    }
+    root.insert("metrics".to_owned(), serde_json::parse_value(&snapshot.to_json()).map_err(bad)?);
+    let dir = std::env::var("TABULA_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut body = serde_json::to_string_pretty(&Value::Obj(root)).map_err(bad)?;
+    body.push('\n');
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// Format bytes in engineering units.
 pub fn fmt_bytes(b: usize) -> String {
     if b >= 10 * 1024 * 1024 {
@@ -283,15 +309,11 @@ mod tests {
         let fare = t.schema().index_of("fare_amount").unwrap();
         let loss = MeanLoss::new(fare);
         let theta = 0.05;
-        let cube = SamplingCubeBuilder::new(
-            Arc::clone(&t),
-            &CUBED_ATTRIBUTES[..3],
-            loss.clone(),
-            theta,
-        )
-        .seed(SEED)
-        .build()
-        .unwrap();
+        let cube =
+            SamplingCubeBuilder::new(Arc::clone(&t), &CUBED_ATTRIBUTES[..3], loss.clone(), theta)
+                .seed(SEED)
+                .build()
+                .unwrap();
         let attrs: Vec<&str> = CUBED_ATTRIBUTES[..3].to_vec();
         let queries = workload(&t, &attrs, 20);
         let result = run_cube_workload("tabula", &cube, &t, &queries, &loss);

@@ -15,7 +15,8 @@ use crate::selection::select_representatives;
 use crate::serfling::{draw_global_sample, SerflingConfig};
 use crate::{CoreError, Result};
 use std::sync::Arc;
-use std::time::Instant;
+use tabula_obs as obs;
+use tabula_obs::span;
 use tabula_storage::cube::{CellKey, CuboidMask};
 use tabula_storage::{group_by, FxHashMap, Table};
 
@@ -48,17 +49,13 @@ pub struct SamplingCubeBuilder<L: AccuracyLoss> {
     samgraph: SamGraphConfig,
     seed: u64,
     parallelism: usize,
+    registry: Option<Arc<obs::Registry>>,
 }
 
 impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
     /// Start a builder over `table`, cubing `attrs`, with `loss` and the
     /// threshold `theta`.
-    pub fn new(
-        table: Arc<Table>,
-        attrs: &[impl AsRef<str>],
-        loss: L,
-        theta: f64,
-    ) -> Self {
+    pub fn new(table: Arc<Table>, attrs: &[impl AsRef<str>], loss: L, theta: f64) -> Self {
         SamplingCubeBuilder {
             table,
             attrs: attrs.iter().map(|a| a.as_ref().to_owned()).collect(),
@@ -69,6 +66,7 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
             samgraph: SamGraphConfig::default(),
             seed: 42,
             parallelism: 0,
+            registry: None,
         }
     }
 
@@ -102,6 +100,13 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
         self
     }
 
+    /// Metrics registry receiving build metrics and the cube's provenance
+    /// counters (default: the process-wide [`tabula_obs::global`] registry).
+    pub fn registry(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Run the pipeline.
     pub fn build(self) -> Result<SamplingCube> {
         if self.theta < 0.0 || self.theta.is_nan() {
@@ -128,41 +133,35 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
             })?;
         }
 
-        let t_total = Instant::now();
+        let registry = self.registry.clone().unwrap_or_else(|| Arc::clone(obs::global()));
+        let total_span = span!("build.total", "mode={:?} attrs={}", self.mode, self.attrs.len());
         let mut stats = BuildStats::default();
-        let global = Arc::new(draw_global_sample(
-            &self.table,
-            self.serfling.sample_size(),
-            self.seed,
-        ));
+        let global_span = span!("build.global_sample");
+        let global =
+            Arc::new(draw_global_sample(&self.table, self.serfling.sample_size(), self.seed));
+        drop(global_span);
         stats.global_sample_size = global.len();
 
         let (entries, selection) = match self.mode {
             MaterializationMode::Tabula | MaterializationMode::TabulaStar => {
                 let ctx = self.loss.prepare(&self.table, &global);
-                let t_dry = Instant::now();
+                let dry_span = span!("build.dry_run");
                 let dry = dry_run(&self.table, &cols, &self.loss, &ctx, self.theta)?;
-                stats.dry_run = t_dry.elapsed();
+                stats.dry_run = dry_span.stop();
                 stats.total_cells = dry.total_cells;
                 stats.iceberg_cells = dry.iceberg_count;
 
-                let t_real = Instant::now();
-                let rr = real_run(
-                    &self.table,
-                    &cols,
-                    &self.loss,
-                    self.theta,
-                    &dry,
-                    self.parallelism,
-                )?;
-                stats.real_run = t_real.elapsed();
+                let real_span = span!("build.real_run", "icebergs={}", dry.iceberg_count);
+                let rr =
+                    real_run(&self.table, &cols, &self.loss, self.theta, &dry, self.parallelism)?;
+                stats.real_run = real_span.stop();
                 stats.cuboids_processed = rr.stats.cuboids_processed;
                 stats.cuboids_skipped = rr.stats.cuboids_skipped;
                 stats.prune_plans = rr.stats.prune_plans;
                 stats.group_all_plans = rr.stats.group_all_plans;
 
                 let selection = if self.mode == MaterializationMode::Tabula {
-                    let t_sel = Instant::now();
+                    let sel_span = span!("build.selection", "samples={}", rr.entries.len());
                     let graph = build_samgraph(
                         &self.table,
                         &self.loss,
@@ -172,7 +171,7 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
                     );
                     stats.samgraph_edges = graph.edge_count();
                     let sel = select_representatives(&graph);
-                    stats.selection = t_sel.elapsed();
+                    stats.selection = sel_span.stop();
                     Some(sel)
                 } else {
                     None
@@ -180,19 +179,19 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
                 (rr.entries, selection)
             }
             MaterializationMode::FullSamCube => {
-                let t_real = Instant::now();
+                let real_span = span!("build.real_run", "mode=FullSamCube");
                 let entries = self.materialize_all_cells(&cols, None)?;
-                stats.real_run = t_real.elapsed();
+                stats.real_run = real_span.stop();
                 stats.total_cells = entries.len();
                 stats.iceberg_cells = entries.len();
                 stats.cuboids_processed = 1 << cols.len();
                 (entries, None)
             }
             MaterializationMode::PartSamCube => {
-                let t_real = Instant::now();
+                let real_span = span!("build.real_run", "mode=PartSamCube");
                 let ctx = self.loss.prepare(&self.table, &global);
                 let entries = self.materialize_all_cells(&cols, Some(&ctx))?;
-                stats.real_run = t_real.elapsed();
+                stats.real_run = real_span.stop();
                 stats.iceberg_cells = entries.len();
                 stats.cuboids_processed = 1 << cols.len();
                 (entries, None)
@@ -219,27 +218,19 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
             None => {
                 let samples: Vec<Arc<Vec<_>>> =
                     entries.iter().map(|e| Arc::new(e.sample.clone())).collect();
-                let cube_table: FxHashMap<CellKey, u32> = entries
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| (e.cell.clone(), i as u32))
-                    .collect();
+                let cube_table: FxHashMap<CellKey, u32> =
+                    entries.iter().enumerate().map(|(i, e)| (e.cell.clone(), i as u32)).collect();
                 (cube_table, samples)
             }
         };
         stats.samples_after_selection = samples.len();
-        stats.total = t_total.elapsed();
+        stats.total = total_span.stop();
+        publish_build_metrics(&registry, &stats);
 
         Ok(SamplingCube::new(
-            self.table,
-            self.attrs,
-            cols,
-            self.theta,
-            cube_table,
-            samples,
-            global,
-            stats,
-        ))
+            self.table, self.attrs, cols, self.theta, cube_table, samples, global, stats,
+        )
+        .with_registry(&registry))
     }
 
     /// Naive materialization used by FullSamCube / PartSamCube: run all
@@ -279,6 +270,26 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
     }
 }
 
+/// Publish one build's statistics into `registry`: stage latencies as
+/// histograms (so repeated builds accumulate distributions), structural
+/// numbers as gauges, and plan choices as counters.
+fn publish_build_metrics(registry: &obs::Registry, stats: &BuildStats) {
+    registry.histogram("build.dry_run").record_duration(stats.dry_run);
+    registry.histogram("build.real_run").record_duration(stats.real_run);
+    registry.histogram("build.selection").record_duration(stats.selection);
+    registry.histogram("build.total").record_duration(stats.total);
+    registry.counter("build.count").inc();
+    registry.counter("real_run.plan.prune").add(stats.prune_plans as u64);
+    registry.counter("real_run.plan.group_all").add(stats.group_all_plans as u64);
+    registry.counter("real_run.cuboids_skipped").add(stats.cuboids_skipped as u64);
+    registry.gauge("cube.total_cells").set(stats.total_cells as i64);
+    registry.gauge("cube.iceberg_cells").set(stats.iceberg_cells as i64);
+    registry.gauge("cube.samples_before_selection").set(stats.samples_before_selection as i64);
+    registry.gauge("cube.samples_after_selection").set(stats.samples_after_selection as i64);
+    registry.gauge("cube.samgraph_edges").set(stats.samgraph_edges as i64);
+    registry.gauge("cube.global_sample_size").set(stats.global_sample_size as i64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,9 +323,7 @@ mod tests {
             SamplingCubeBuilder::new(Arc::clone(&t), &["fare"], loss.clone(), 0.1).build(),
             Err(CoreError::Config(_))
         ));
-        assert!(SamplingCubeBuilder::new(Arc::clone(&t), &["missing"], loss, 0.1)
-            .build()
-            .is_err());
+        assert!(SamplingCubeBuilder::new(Arc::clone(&t), &["missing"], loss, 0.1).build().is_err());
     }
 
     /// The end-to-end guarantee: for EVERY cell of the full cube, the
@@ -365,16 +374,21 @@ mod tests {
     fn guarantee_holds_for_heatmap_loss() {
         let t = mini();
         let pickup = t.schema().index_of("pickup").unwrap();
-        check_guarantee(HeatmapLoss::new(pickup, Metric::Euclidean), 0.05, MaterializationMode::Tabula);
+        check_guarantee(
+            HeatmapLoss::new(pickup, Metric::Euclidean),
+            0.05,
+            MaterializationMode::Tabula,
+        );
     }
 
     #[test]
     fn selection_reduces_or_preserves_sample_count() {
         let t = mini();
-        let tabula = SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], mean_loss(&t), 0.10)
-            .seed(7)
-            .build()
-            .unwrap();
+        let tabula =
+            SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], mean_loss(&t), 0.10)
+                .seed(7)
+                .build()
+                .unwrap();
         let star = SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], mean_loss(&t), 0.10)
             .mode(MaterializationMode::TabulaStar)
             .seed(7)
@@ -450,5 +464,55 @@ mod tests {
         let t = mini();
         let g = group_rows(&t, &[2], &t.all_rows()).unwrap();
         assert_eq!(g.groups.len(), 3);
+    }
+
+    #[test]
+    fn build_publishes_metrics_and_emits_spans() {
+        let t = mini();
+        // Subscribers are process-global, so concurrent tests may add
+        // their own spans to this collector; assert presence, not counts.
+        let collector = Arc::new(obs::MemoryCollector::new());
+        obs::set_subscriber(Arc::clone(&collector) as Arc<dyn obs::Subscriber>);
+        // The registry, by contrast, is private: exact numbers hold.
+        let registry = Arc::new(obs::Registry::new());
+        let cube = SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], mean_loss(&t), 0.10)
+            .seed(7)
+            .registry(Arc::clone(&registry))
+            .build()
+            .unwrap();
+        obs::clear_subscriber();
+
+        let s = cube.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("build.count"), 1);
+        assert_eq!(
+            snap.counter("real_run.plan.prune") + snap.counter("real_run.plan.group_all"),
+            s.cuboids_processed as u64
+        );
+        assert_eq!(snap.gauges["cube.total_cells"], s.total_cells as i64);
+        assert_eq!(snap.gauges["cube.iceberg_cells"], s.iceberg_cells as i64);
+        assert_eq!(snap.gauges["cube.samples_after_selection"], s.samples_after_selection as i64);
+        for stage in ["build.dry_run", "build.real_run", "build.selection", "build.total"] {
+            let h = &snap.histograms[stage];
+            assert_eq!(h.count, 1, "{stage} recorded once");
+        }
+        assert_eq!(snap.histograms["build.total"].sum_ns, s.total.as_nanos() as u64);
+
+        for span in [
+            "build.total",
+            "build.global_sample",
+            "build.dry_run",
+            "build.real_run",
+            "build.selection",
+        ] {
+            assert!(collector.count_of(span) >= 1, "missing span {span}");
+        }
+        // Stage spans nest inside build.total.
+        let records = collector.records();
+        let total_depth =
+            records.iter().find(|r| r.name == "build.total").expect("total span").depth;
+        let dry_depth =
+            records.iter().find(|r| r.name == "build.dry_run").expect("dry-run span").depth;
+        assert!(dry_depth > total_depth);
     }
 }

@@ -10,6 +10,7 @@ use crate::{CoreError, Result};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
+use tabula_obs::ProvenanceCounters;
 use tabula_storage::cube::CellKey;
 use tabula_storage::{CmpOp, FxHashMap, Predicate, RowId, Table};
 
@@ -115,6 +116,9 @@ pub struct SamplingCube {
     samples: Vec<Arc<Vec<RowId>>>,
     global_sample: Arc<Vec<RowId>>,
     stats: BuildStats,
+    /// Where each query answer came from (one relaxed counter bump per
+    /// query; clones share the same counters).
+    provenance: ProvenanceCounters,
 }
 
 impl SamplingCube {
@@ -131,7 +135,31 @@ impl SamplingCube {
         global_sample: Arc<Vec<RowId>>,
         stats: BuildStats,
     ) -> Self {
-        SamplingCube { table, attrs, cols, theta, cube_table, samples, global_sample, stats }
+        SamplingCube {
+            table,
+            attrs,
+            cols,
+            theta,
+            cube_table,
+            samples,
+            global_sample,
+            stats,
+            provenance: ProvenanceCounters::global(),
+        }
+    }
+
+    /// Re-home this cube's provenance counters in `registry` (they default
+    /// to the process-wide registry). Use a private [`tabula_obs::Registry`]
+    /// when isolated accounting is needed, e.g. in tests or benchmarks.
+    pub fn with_registry(mut self, registry: &tabula_obs::Registry) -> Self {
+        self.provenance = ProvenanceCounters::in_registry(registry);
+        self
+    }
+
+    /// The cube's provenance counters (local hits / global-sample
+    /// fallbacks / empty-domain misses).
+    pub fn provenance_counters(&self) -> &ProvenanceCounters {
+        &self.provenance
     }
 
     /// The raw table the cube was built over.
@@ -178,24 +206,33 @@ impl SamplingCube {
         let cell = self.cell_for_predicate(pred)?;
         match cell {
             Some(cell) => Ok(self.query_cell(&cell)),
-            None => Ok(QueryAnswer {
-                rows: Arc::new(Vec::new()),
-                provenance: SampleProvenance::EmptyDomain,
-            }),
+            None => {
+                self.provenance.record_cell_miss();
+                Ok(QueryAnswer {
+                    rows: Arc::new(Vec::new()),
+                    provenance: SampleProvenance::EmptyDomain,
+                })
+            }
         }
     }
 
     /// Answer a query already resolved to a cube cell.
     pub fn query_cell(&self, cell: &CellKey) -> QueryAnswer {
         match self.cube_table.get(cell) {
-            Some(&sample_id) => QueryAnswer {
-                rows: Arc::clone(&self.samples[sample_id as usize]),
-                provenance: SampleProvenance::Local(sample_id),
-            },
-            None => QueryAnswer {
-                rows: Arc::clone(&self.global_sample),
-                provenance: SampleProvenance::Global,
-            },
+            Some(&sample_id) => {
+                self.provenance.record_local_hit();
+                QueryAnswer {
+                    rows: Arc::clone(&self.samples[sample_id as usize]),
+                    provenance: SampleProvenance::Local(sample_id),
+                }
+            }
+            None => {
+                self.provenance.record_global_hit();
+                QueryAnswer {
+                    rows: Arc::clone(&self.global_sample),
+                    provenance: SampleProvenance::Global,
+                }
+            }
         }
     }
 
@@ -308,6 +345,7 @@ impl SamplingCube {
             samples: persist.samples.into_iter().map(Arc::new).collect(),
             global_sample: Arc::new(persist.global_sample),
             stats: persist.stats,
+            provenance: ProvenanceCounters::global(),
         })
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::loss::AccuracyLoss;
 use crate::Result;
+use tabula_obs::span;
 use tabula_storage::cube::{
     finest_cuboid as finest_cuboid_scan, rollup_from_finest, CellKey, CubeResult, CuboidMask,
 };
@@ -87,16 +88,22 @@ pub fn dry_run<L: AccuracyLoss>(
     theta: f64,
 ) -> Result<DryRun<L::State>> {
     // One raw scan builds the finest cuboid of loss states…
+    let scan_span = span!("dry_run.scan", "rows={}", table.len());
     let finest = finest_cuboid_scan(table, cols, L::State::default, |state, row| {
         loss.fold(global_ctx, state, table, row)
     })?;
+    drop(scan_span);
     // …and the rest of the lattice is pure state merging.
+    let rollup_span = span!("dry_run.rollup");
     let states = rollup_from_finest(cols.len(), finest, &L::State::default);
+    drop(rollup_span);
 
+    let _classify_span = span!("dry_run.classify");
     let mut iceberg: FxHashMap<CuboidMask, Vec<Vec<u32>>> = FxHashMap::default();
     let mut total_cells = 0usize;
     let mut iceberg_count = 0usize;
     for (mask, groups) in &states.cuboids {
+        let _cuboid_span = span!("dry_run.cuboid", "mask={mask:?} cells={}", groups.len());
         total_cells += groups.len();
         let mut cells: Vec<Vec<u32>> = groups
             .iter()
@@ -133,17 +140,14 @@ mod tests {
 
         // Cross-check every cell against a direct (non-algebraic)
         // computation on the raw rows.
-        use tabula_storage::group_by;
         use tabula_storage::cube::CuboidMask;
+        use tabula_storage::group_by;
         for mask in CuboidMask::enumerate(3) {
             let attrs = mask.attrs();
             let grouped = group_by(&t, &attrs).unwrap();
             for (key, rows) in &grouped.groups {
                 let direct = loss.loss_with_ctx(&t, rows, &ctx);
-                let flagged = dry
-                    .iceberg
-                    .get(&mask)
-                    .is_some_and(|cells| cells.contains(key));
+                let flagged = dry.iceberg.get(&mask).is_some_and(|cells| cells.contains(key));
                 assert_eq!(
                     flagged,
                     direct > theta,
@@ -168,10 +172,7 @@ mod tests {
         let summary = dry.lattice_summary();
         assert_eq!(summary.len(), 8); // 2³ cuboids
         assert_eq!(summary.iter().map(|s| s.total_cells).sum::<usize>(), dry.total_cells);
-        assert_eq!(
-            summary.iter().map(|s| s.iceberg_cells).sum::<usize>(),
-            dry.iceberg_count
-        );
+        assert_eq!(summary.iter().map(|s| s.iceberg_cells).sum::<usize>(), dry.iceberg_count);
         // Finest cuboid is listed first.
         assert_eq!(summary[0].mask, CuboidMask::finest(3));
     }

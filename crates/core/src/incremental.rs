@@ -31,7 +31,7 @@ use crate::selection::select_representatives;
 use crate::serfling::{draw_global_sample, SerflingConfig};
 use crate::{CoreError, Result};
 use std::sync::Arc;
-use std::time::Instant;
+use tabula_obs::span;
 use tabula_storage::cube::{CellKey, CuboidMask};
 use tabula_storage::{FxHashMap, FxHashSet, RowId, Table};
 
@@ -86,7 +86,7 @@ pub fn refresh<L: AccuracyLoss>(
     loss: &L,
     config: RefreshConfig,
 ) -> Result<(SamplingCube, RefreshStats)> {
-    let t_total = Instant::now();
+    let total_span = span!("refresh.total");
     let old_table = cube.table();
     if new_table.schema() != old_table.schema() {
         return Err(CoreError::Config(
@@ -94,9 +94,7 @@ pub fn refresh<L: AccuracyLoss>(
         ));
     }
     if new_table.len() < old_table.len() {
-        return Err(CoreError::Config(
-            "refresh requires an extended table (appends only)".into(),
-        ));
+        return Err(CoreError::Config("refresh requires an extended table (appends only)".into()));
     }
     let theta = cube.theta();
     let attrs: Vec<String> = cube.attrs().to_vec();
@@ -109,22 +107,19 @@ pub fn refresh<L: AccuracyLoss>(
     let appended: Vec<RowId> = (old_len..new_table.len() as RowId).collect();
 
     // 1. Redraw the global sample over the grown table; full dry run.
-    let global = Arc::new(draw_global_sample(
-        &new_table,
-        config.serfling.sample_size(),
-        config.seed,
-    ));
+    let global =
+        Arc::new(draw_global_sample(&new_table, config.serfling.sample_size(), config.seed));
     let ctx = loss.prepare(&new_table, &global);
+    let dry_span = span!("refresh.dry_run");
     let dry = dry_run(&new_table, &cols, loss, &ctx, theta)?;
+    drop(dry_span);
 
     // 2. Which cells did the appended rows touch? (Every ancestor cell of
     //    every appended row, across all 2ⁿ cuboids.)
     let mut touched: FxHashSet<CellKey> = FxHashSet::default();
     {
-        let cats: Vec<_> = cols
-            .iter()
-            .map(|&c| new_table.cat(c))
-            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let cats: Vec<_> =
+            cols.iter().map(|&c| new_table.cat(c)).collect::<std::result::Result<Vec<_>, _>>()?;
         let masks = CuboidMask::enumerate(n);
         let mut full = vec![0u32; n];
         for &row in &appended {
@@ -159,9 +154,7 @@ pub fn refresh<L: AccuracyLoss>(
     let retired_cells = old_cells
         .keys()
         .filter(|cell| {
-            dry.iceberg
-                .get(&cell.mask())
-                .is_none_or(|keys| !keys.contains(&cell.compact()))
+            dry.iceberg.get(&cell.mask()).is_none_or(|keys| !keys.contains(&cell.compact()))
         })
         .count();
 
@@ -172,10 +165,13 @@ pub fn refresh<L: AccuracyLoss>(
         total_cells: dry.total_cells,
         iceberg_count: new_iceberg_count - reused.len(),
     };
+    let real_span = span!("refresh.real_run", "fresh_cells={}", dry_fresh.iceberg_count);
     let rr = real_run(&new_table, &cols, loss, theta, &dry_fresh, config.parallelism)?;
+    drop(real_span);
 
     // 5. Selection among fresh samples only (reused samples stay as-is).
     let selection = if config.mode == MaterializationMode::Tabula {
+        let _sel_span = span!("refresh.selection", "samples={}", rr.entries.len());
         let graph = build_samgraph(&new_table, loss, theta, &rr.entries, &config.samgraph);
         Some(select_representatives(&graph))
     } else {
@@ -217,8 +213,19 @@ pub fn refresh<L: AccuracyLoss>(
         resampled_cells: rr.entries.len(),
         retired_cells,
         appended_rows: appended.len(),
-        total: t_total.elapsed(),
+        total: total_span.stop(),
     };
+    {
+        // Refresh accounting in the process-wide registry: how much prior
+        // work incremental maintenance is saving over full rebuilds.
+        let registry = tabula_obs::global();
+        registry.counter("refresh.count").inc();
+        registry.counter("refresh.reused_cells").add(stats.reused_cells as u64);
+        registry.counter("refresh.resampled_cells").add(stats.resampled_cells as u64);
+        registry.counter("refresh.retired_cells").add(stats.retired_cells as u64);
+        registry.counter("refresh.appended_rows").add(stats.appended_rows as u64);
+        registry.histogram("refresh.total").record_duration(stats.total);
+    }
     let build_stats = BuildStats {
         total: stats.total,
         total_cells: dry.total_cells,
@@ -228,16 +235,8 @@ pub fn refresh<L: AccuracyLoss>(
         global_sample_size: global.len(),
         ..BuildStats::default()
     };
-    let new_cube = SamplingCube::new(
-        new_table,
-        attrs,
-        cols,
-        theta,
-        cube_table,
-        samples,
-        global,
-        build_stats,
-    );
+    let new_cube =
+        SamplingCube::new(new_table, attrs, cols, theta, cube_table, samples, global, build_stats);
     Ok((new_cube, stats))
 }
 
@@ -288,11 +287,7 @@ mod tests {
             let raw = q.predicate.filter(&new_t).unwrap();
             let ans = refreshed.query_cell(&q.cell);
             let achieved = loss.loss(&new_t, &raw, &ans.rows);
-            assert!(
-                achieved <= theta + 1e-9,
-                "query [{}]: {achieved} > {theta}",
-                q.description
-            );
+            assert!(achieved <= theta + 1e-9, "query [{}]: {achieved} > {theta}", q.description);
         }
     }
 

@@ -65,11 +65,9 @@ pub mod selection;
 pub mod serfling;
 
 pub use builder::{MaterializationMode, SamplingCubeBuilder};
-pub use incremental::{refresh, RefreshConfig, RefreshStats};
 pub use cube::{MemoryBreakdown, QueryAnswer, SampleProvenance, SamplingCube};
-pub use loss::{
-    AccuracyLoss, HeatmapLoss, HistogramLoss, MeanLoss, RegressionLoss,
-};
+pub use incremental::{refresh, RefreshConfig, RefreshStats};
+pub use loss::{AccuracyLoss, HeatmapLoss, HistogramLoss, MeanLoss, RegressionLoss};
 pub use sampling::greedy_sample;
 pub use serfling::{global_sample_size, SerflingConfig};
 

@@ -173,8 +173,7 @@ mod tests {
         let heat = HeatmapLoss::new(pickup, Metric::Euclidean);
         let mean = MeanLoss::new(fare);
         let (theta_heat, theta_mean) = (0.02, 0.05);
-        let combined =
-            MaxLoss::with_thresholds(heat.clone(), theta_heat, mean.clone(), theta_mean);
+        let combined = MaxLoss::with_thresholds(heat.clone(), theta_heat, mean.clone(), theta_mean);
         let all: Vec<u32> = t.all_rows();
         let sample = combined.sample_greedy(&t, &all, 1.0);
         assert!(combined.loss(&t, &all, &sample) <= 1.0 + 1e-9);
@@ -224,15 +223,11 @@ mod tests {
         let heat = HeatmapLoss::new(pickup, Metric::Euclidean);
         let mean = MeanLoss::new(fare);
         let combined = MaxLoss::with_thresholds(heat.clone(), 0.02, mean.clone(), 0.05);
-        let cube = SamplingCubeBuilder::new(
-            Arc::clone(&t),
-            &["payment_type", "rate_code"],
-            combined,
-            1.0,
-        )
-        .seed(5)
-        .build()
-        .unwrap();
+        let cube =
+            SamplingCubeBuilder::new(Arc::clone(&t), &["payment_type", "rate_code"], combined, 1.0)
+                .seed(5)
+                .build()
+                .unwrap();
         // Both component guarantees hold for a few populations.
         for payment in ["cash", "credit", "dispute"] {
             let pred = tabula_storage::Predicate::eq("payment_type", payment);

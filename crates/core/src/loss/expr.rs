@@ -132,13 +132,7 @@ pub struct NumericState {
 
 impl Default for NumericState {
     fn default() -> Self {
-        NumericState {
-            sum: 0.0,
-            sum_sq: 0.0,
-            count: 0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        NumericState { sum: 0.0, sum_sq: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 }
 
@@ -257,12 +251,8 @@ impl AccuracyLoss for ExprLoss {
         for &v in &values {
             raw_state.add(v);
         }
-        let eval = ExprGreedy {
-            loss: self.clone(),
-            values,
-            raw_state,
-            sample: NumericState::default(),
-        };
+        let eval =
+            ExprGreedy { loss: self.clone(), values, raw_state, sample: NumericState::default() };
         run_incremental_greedy(eval, raw, theta)
     }
 }

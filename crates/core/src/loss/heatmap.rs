@@ -240,9 +240,7 @@ mod tests {
         assert!(achieved <= 0.01);
         let pickups = t.column(0).as_point_slice().unwrap();
         let near = |c: (f64, f64)| {
-            sample
-                .iter()
-                .any(|&r| pickups[r as usize].euclidean(&Point::new(c.0, c.1)) < 0.1)
+            sample.iter().any(|&r| pickups[r as usize].euclidean(&Point::new(c.0, c.1)) < 0.1)
         };
         assert!(near((0.1, 0.1)) && near((0.9, 0.9)));
         // Far fewer sample points than raw points.

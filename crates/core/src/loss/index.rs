@@ -156,10 +156,7 @@ impl GridIndex {
     fn anchor_cell(&self, q: &Point) -> (isize, isize) {
         let qx = ((q.x - self.ox) / self.cell).floor();
         let qy = ((q.y - self.oy) / self.cell).floor();
-        (
-            qx.clamp(0.0, (self.nx - 1) as f64) as isize,
-            qy.clamp(0.0, (self.ny - 1) as f64) as isize,
-        )
+        (qx.clamp(0.0, (self.nx - 1) as f64) as isize, qy.clamp(0.0, (self.ny - 1) as f64) as isize)
     }
 
     /// Ring scan tracking a plain (non-squared) best distance under either
@@ -285,10 +282,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn brute_nearest(points: &[Point], q: &Point) -> f64 {
-        points
-            .iter()
-            .map(|p| p.euclidean(q))
-            .fold(f64::INFINITY, f64::min)
+        points.iter().map(|p| p.euclidean(q)).fold(f64::INFINITY, f64::min)
     }
 
     #[test]
@@ -365,10 +359,7 @@ mod tests {
         let g = GridIndex::build(points.clone());
         for _ in 0..400 {
             let q = Point::new(rng.gen_range(-0.2..1.2), rng.gen_range(-0.2..1.2));
-            let brute = points
-                .iter()
-                .map(|p| p.manhattan(&q))
-                .fold(f64::INFINITY, f64::min);
+            let brute = points.iter().map(|p| p.manhattan(&q)).fold(f64::INFINITY, f64::min);
             assert!((g.nearest_dist_manhattan(&q) - brute).abs() < 1e-12);
         }
     }

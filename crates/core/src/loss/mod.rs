@@ -149,11 +149,7 @@ mod tests {
         // Empty raw data ⇒ zero loss, regardless of the sample.
         assert_eq!(loss.loss(table, &[], &all), 0.0, "{}: empty raw", loss.name());
         // Non-empty raw vs empty sample ⇒ infinite loss.
-        assert!(
-            loss.loss(table, &all, &[]).is_infinite(),
-            "{}: empty sample",
-            loss.name()
-        );
+        assert!(loss.loss(table, &all, &[]).is_infinite(), "{}: empty sample", loss.name());
         // Perfect sample ⇒ (near) zero loss.
         let perfect = loss.loss(table, &all, &all);
         assert!(perfect.abs() < 1e-9, "{}: loss(raw, raw) = {perfect}", loss.name());
@@ -166,8 +162,7 @@ mod tests {
             assert!(within.is_some(), "{}: loss_within at bound", loss.name());
             assert!((within.unwrap() - exact).abs() < 1e-9, "{}", loss.name());
             assert!(
-                loss.loss_within(table, &all, &ctx, exact / 2.0 - 1e-9).is_none()
-                    || exact == 0.0,
+                loss.loss_within(table, &all, &ctx, exact / 2.0 - 1e-9).is_none() || exact == 0.0,
                 "{}: loss_within below bound",
                 loss.name()
             );
@@ -199,11 +194,7 @@ mod tests {
             let sample = loss.sample_greedy(t, raw, theta);
             assert!(!sample.is_empty());
             let achieved = loss.loss(t, raw, &sample);
-            assert!(
-                achieved <= theta + 1e-12,
-                "{}: achieved {achieved} > θ {theta}",
-                loss.name()
-            );
+            assert!(achieved <= theta + 1e-12, "{}: achieved {achieved} > θ {theta}", loss.name());
             // Sampling is without replacement.
             let mut seen = std::collections::HashSet::new();
             assert!(sample.iter().all(|r| seen.insert(*r)), "{}", loss.name());

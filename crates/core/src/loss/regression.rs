@@ -102,7 +102,8 @@ impl AccuracyLoss for RegressionLoss {
         for &(x, y) in &xys {
             raw_m.add(x, y);
         }
-        let eval = RegGreedy { xys, raw_angle: raw_m.angle_degrees(), sample: Moments2D::default() };
+        let eval =
+            RegGreedy { xys, raw_angle: raw_m.angle_degrees(), sample: Moments2D::default() };
         run_incremental_greedy(eval, raw, theta)
     }
 }

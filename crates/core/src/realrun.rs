@@ -18,6 +18,7 @@
 use crate::dryrun::DryRun;
 use crate::loss::AccuracyLoss;
 use crate::Result;
+use tabula_obs::span;
 use tabula_storage::cube::{CellKey, CuboidMask};
 use tabula_storage::group::group_rows;
 use tabula_storage::join::semi_join as semi_join_rows;
@@ -115,6 +116,8 @@ pub fn real_run<L: AccuracyLoss>(
         let attrs: Vec<usize> = mask.attrs().iter().map(|&a| cols[a]).collect();
         let k_cells = dry.states.cuboids[&mask].len();
         let plan = choose_plan(table.len(), iceberg_keys.len(), k_cells);
+        let _cuboid_span =
+            span!("real_run.cuboid", "mask={mask:?} plan={plan:?} icebergs={}", iceberg_keys.len());
         stats.cuboids_processed += 1;
         let iceberg_set: FxHashSet<Vec<u32>> = iceberg_keys.iter().cloned().collect();
         let grouped = match plan {
@@ -129,11 +132,8 @@ pub fn real_run<L: AccuracyLoss>(
             }
         };
         let n_attrs = cols.len();
-        let mut cells: Vec<(Vec<u32>, Vec<RowId>)> = grouped
-            .groups
-            .into_iter()
-            .filter(|(key, _)| iceberg_set.contains(key))
-            .collect();
+        let mut cells: Vec<(Vec<u32>, Vec<RowId>)> =
+            grouped.groups.into_iter().filter(|(key, _)| iceberg_set.contains(key)).collect();
         cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         for (compact, rows) in cells {
             work.push((CellKey::from_compact(mask, n_attrs, &compact), rows));
@@ -146,7 +146,9 @@ pub fn real_run<L: AccuracyLoss>(
     } else {
         parallelism
     };
+    let sample_span = span!("real_run.sample_cells", "cells={} threads={threads}", work.len());
     let entries = sample_cells(table, loss, theta, work, threads);
+    drop(sample_span);
     Ok(RealRun { entries, stats })
 }
 
@@ -176,17 +178,16 @@ fn sample_cells<L: AccuracyLoss>(
     out.resize_with(work.len(), || None);
     let out_slices = split_into_parts(&mut out, threads);
     let work_parts = split_vec_into_parts(work, threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (out_part, work_part) in out_slices.into_iter().zip(work_parts) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, (cell, rows)) in out_part.iter_mut().zip(work_part) {
                     let sample = loss.sample_greedy(table, &rows, theta);
                     *slot = Some(CubeEntry { cell, rows, sample });
                 }
             });
         }
-    })
-    .expect("sampling workers do not panic");
+    });
     out.into_iter().map(|e| e.expect("every slot filled")).collect()
 }
 
@@ -280,9 +281,11 @@ mod tests {
             let cats: Vec<_> = (0..3).map(|c| t.cat(c).unwrap()).collect();
             let expect: Vec<RowId> = (0..t.len() as RowId)
                 .filter(|&r| {
-                    e.cell.codes.iter().zip(&cats).all(|(code, cat)| {
-                        code.is_none_or(|c| cat.codes()[r as usize] == c)
-                    })
+                    e.cell
+                        .codes
+                        .iter()
+                        .zip(&cats)
+                        .all(|(code, cat)| code.is_none_or(|c| cat.codes()[r as usize] == c))
                 })
                 .collect();
             let mut got = e.rows.clone();

@@ -21,6 +21,7 @@
 
 use crate::loss::AccuracyLoss;
 use crate::realrun::CubeEntry;
+use tabula_obs::span;
 use tabula_storage::Table;
 
 /// Tuning knobs of the SamGraph join.
@@ -72,6 +73,7 @@ pub fn build_samgraph<L: AccuracyLoss>(
     cfg: &SamGraphConfig,
 ) -> SamGraph {
     let m = entries.len();
+    let _span = span!("selection.samgraph_join", "samples={m}");
     let mut edges: Vec<Vec<u32>> = (0..m).map(|u| vec![u as u32]).collect();
     if m <= 1 {
         return SamGraph { edges };
@@ -105,8 +107,7 @@ pub fn build_samgraph<L: AccuracyLoss>(
     // Sample-dependent path: rank candidates by signature proximity, check
     // the nearest `max_candidates` exactly (early-exit at θ).
     let sigs: Vec<[f64; 2]> = entries.iter().map(|e| loss.signature(table, &e.rows)).collect();
-    let ctxs: Vec<L::SampleCtx> =
-        entries.iter().map(|e| loss.prepare(table, &e.sample)).collect();
+    let ctxs: Vec<L::SampleCtx> = entries.iter().map(|e| loss.prepare(table, &e.sample)).collect();
     let cap = cfg.max_candidates.min(m - 1);
     for v in 0..m {
         let mut cands: Vec<(f64, usize)> = (0..m)
@@ -162,10 +163,7 @@ mod tests {
         for (u, outs) in g.edges.iter().enumerate() {
             for &v in outs {
                 let l = loss.loss(&t, &entries[v as usize].rows, &entries[u].sample);
-                assert!(
-                    l <= theta + 1e-9,
-                    "edge {u}→{v} is not a valid representation (loss {l})"
-                );
+                assert!(l <= theta + 1e-9, "edge {u}→{v} is not a valid representation (loss {l})");
             }
         }
     }
@@ -180,8 +178,7 @@ mod tests {
         // Cross-check: every valid pair must be present.
         for u in 0..entries.len() {
             for v in 0..entries.len() {
-                let valid =
-                    loss.loss(&t, &entries[v].rows, &entries[u].sample) <= theta;
+                let valid = loss.loss(&t, &entries[v].rows, &entries[u].sample) <= theta;
                 let present = g.edges[u].contains(&(v as u32));
                 if u == v {
                     assert!(present, "self-edge {u} missing");

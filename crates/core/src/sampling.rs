@@ -249,9 +249,8 @@ fn stochastic_greedy<S: CoverageSpace>(space: &S, theta: f64) -> Vec<usize> {
     // Deterministic per input size so builds are reproducible.
     let mut rng = SmallRng::seed_from_u64(0x7ab0_1a5e ^ n as u64);
     // Gain-probe subset for very large inputs.
-    let probe: Option<Vec<usize>> = (n > PROBE_LIMIT).then(|| {
-        rand::seq::index::sample(&mut rng, n, PROBE).into_iter().collect()
-    });
+    let probe: Option<Vec<usize>> = (n > PROBE_LIMIT)
+        .then(|| rand::seq::index::sample(&mut rng, n, PROBE).into_iter().collect());
     while sum / n as f64 > theta && chosen.len() < n {
         // Candidate pool: POOL random unselected elements + the element
         // farthest from the current sample (it always has positive gain
@@ -277,10 +276,7 @@ fn stochastic_greedy<S: CoverageSpace>(space: &S, theta: f64) -> Vec<usize> {
         let mut best = (-1.0f64, usize::MAX);
         for &c in &pool {
             let gain: f64 = match &probe {
-                Some(idxs) => idxs
-                    .iter()
-                    .map(|&i| (cur[i] - space.dist(i, c)).max(0.0))
-                    .sum(),
+                Some(idxs) => idxs.iter().map(|&i| (cur[i] - space.dist(i, c)).max(0.0)).sum(),
                 None => (0..n).map(|i| (cur[i] - space.dist(i, c)).max(0.0)).sum(),
             };
             if gain > best.0 {
@@ -346,12 +342,7 @@ mod tests {
     fn coverage_loss(space: &Line, chosen: &[usize]) -> f64 {
         let n = space.len();
         (0..n)
-            .map(|i| {
-                chosen
-                    .iter()
-                    .map(|&c| space.dist(i, c))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|i| chosen.iter().map(|&c| space.dist(i, c)).fold(f64::INFINITY, f64::min))
             .sum::<f64>()
             / n as f64
     }
@@ -391,8 +382,7 @@ mod tests {
                 if selected[c] {
                     continue;
                 }
-                let gain: f64 =
-                    (0..n).map(|i| (cur[i] - (xs[i] - xs[c]).abs()).max(0.0)).sum();
+                let gain: f64 = (0..n).map(|i| (cur[i] - (xs[i] - xs[c]).abs()).max(0.0)).sum();
                 if gain > best_gain {
                     best_gain = gain;
                     best = c;

@@ -11,6 +11,7 @@
 //! representative's sample id.
 
 use crate::samgraph::SamGraph;
+use tabula_obs::span;
 
 /// Output of Algorithm 3.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +40,7 @@ impl Selection {
 /// self-edge, coverage is total.
 pub fn select_representatives(graph: &SamGraph) -> Selection {
     let m = graph.len();
+    let _span = span!("selection.greedy", "vertices={m} edges={}", graph.edge_count());
     // Sort heads by descending out-degree, ascending index on ties.
     let mut order: Vec<u32> = (0..m as u32).collect();
     order.sort_by_key(|&h| (std::cmp::Reverse(graph.edges[h as usize].len()), h));
@@ -89,18 +91,18 @@ mod tests {
         // Sample5 represents {5,6}; Sample4 represents itself; the rest
         // only represent themselves. Expected pick order: 2, 8, 5, 4.
         let g = graph(&[
-            &[],              // 1
-            &[0, 2, 5, 6],    // 2 → 1,3,6,7
-            &[],              // 3
-            &[],              // 4
-            &[5],             // 5 → 6
-            &[],              // 6
-            &[],              // 7
-            &[2, 6],          // 8 → 3,7
+            &[],           // 1
+            &[0, 2, 5, 6], // 2 → 1,3,6,7
+            &[],           // 3
+            &[],           // 4
+            &[5],          // 5 → 6
+            &[],           // 6
+            &[],           // 7
+            &[2, 6],       // 8 → 3,7
         ]);
         let sel = select_representatives(&g);
         assert_eq!(sel.representatives, vec![1, 7, 4, 3]); // samples 2, 8, 5, 4
-        // Every vertex covered by a representative that has an edge to it.
+                                                           // Every vertex covered by a representative that has an edge to it.
         for (v, &r) in sel.rep_of.iter().enumerate() {
             assert!(
                 g.edges[r as usize].contains(&(v as u32)),

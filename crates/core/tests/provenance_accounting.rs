@@ -1,0 +1,67 @@
+//! Integration test: the cube's provenance *counters* (tabula-obs) must
+//! agree exactly with the provenance *tags* it returns on every answer.
+//! The counters are the monitoring view, the tags are the per-answer
+//! ground truth — any drift between them means the instrumentation lies.
+
+use std::sync::Arc;
+use tabula_core::cube::SampleProvenance;
+use tabula_core::loss::MeanLoss;
+use tabula_core::SamplingCubeBuilder;
+use tabula_data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula_obs::Registry;
+use tabula_storage::Predicate;
+
+#[test]
+fn provenance_counters_match_answer_tags_exactly() {
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 5_000, seed: 7 }).generate());
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..4].to_vec();
+
+    // A private registry keeps this test's accounting isolated from other
+    // tests running in the same process (the default is the global one).
+    let registry = Arc::new(Registry::new());
+    let cube = SamplingCubeBuilder::new(Arc::clone(&table), &attrs, MeanLoss::new(fare), 0.05)
+        .seed(7)
+        .registry(Arc::clone(&registry))
+        .build()
+        .expect("cube build succeeds");
+
+    let queries =
+        Workload::new(&attrs).generate(&table, 300, 0xFEED).expect("workload generation succeeds");
+
+    // Tally the tags the cube returns…
+    let (mut local, mut global, mut miss) = (0u64, 0u64, 0u64);
+    for q in &queries {
+        match cube.query_cell(&q.cell).provenance {
+            SampleProvenance::Local(_) => local += 1,
+            SampleProvenance::Global => global += 1,
+            SampleProvenance::EmptyDomain => unreachable!("query_cell never misses"),
+        }
+    }
+    // …including predicate-path queries whose value is outside the cubed
+    // attribute's domain (the EmptyDomain answer).
+    for i in 0..10 {
+        let pred = Predicate::eq(attrs[0], format!("no-such-value-{i}"));
+        match cube.query(&pred).expect("cubed-attribute predicate").provenance {
+            SampleProvenance::Local(_) => local += 1,
+            SampleProvenance::Global => global += 1,
+            SampleProvenance::EmptyDomain => miss += 1,
+        }
+    }
+
+    // The counters must agree with the tags exactly — and sum to the
+    // workload size, i.e. every query was tallied exactly once.
+    let prov = cube.provenance_counters();
+    assert_eq!(prov.local_hits(), local, "local-hit counter vs Local(_) tags");
+    assert_eq!(prov.global_hits(), global, "global-hit counter vs Global tags");
+    assert_eq!(prov.cell_misses(), miss, "cell-miss counter vs EmptyDomain tags");
+    assert_eq!(prov.total(), queries.len() as u64 + 10);
+    assert!(miss > 0, "out-of-domain predicates must produce EmptyDomain answers");
+
+    // The same numbers must be visible through the registry snapshot (the
+    // counters are registry-backed, not cube-private state).
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("query.provenance.local_hit"), local);
+    assert_eq!(snap.counter("query.provenance.global_hit"), global);
+    assert_eq!(snap.counter("query.provenance.cell_miss"), miss);
+}

@@ -102,9 +102,8 @@ fn parse_type(name: &str, line: usize) -> Result<ColumnType, CsvError> {
 /// Read a table from CSV (header `name:type` per column).
 pub fn read_table<R: BufRead>(reader: R) -> Result<Table, CsvError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Parse { line: 1, message: "empty input".into() })??;
+    let header =
+        lines.next().ok_or(CsvError::Parse { line: 1, message: "empty input".into() })??;
     let mut fields = Vec::new();
     for (i, col) in split_record(&header).iter().enumerate() {
         let (name, ty) = col.rsplit_once(':').ok_or_else(|| CsvError::Parse {

@@ -25,5 +25,7 @@ pub mod workload;
 
 pub use csv::{read_table, write_table, CsvError};
 pub use mini::example_dcm_table;
-pub use taxi::{meters_to_norm, norm_to_meters, TaxiConfig, TaxiGenerator, CUBED_ATTRIBUTES, EXTENT_KM};
+pub use taxi::{
+    meters_to_norm, norm_to_meters, TaxiConfig, TaxiGenerator, CUBED_ATTRIBUTES, EXTENT_KM,
+};
 pub use workload::{QueryCell, Workload};

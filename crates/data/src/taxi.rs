@@ -407,8 +407,7 @@ mod tests {
         let fares = t.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
         let global: f64 = fares.iter().sum::<f64>() / fares.len() as f64;
         let jfk = Predicate::eq("rate_code", "jfk").filter(&t).unwrap();
-        let jfk_mean: f64 =
-            jfk.iter().map(|&r| fares[r as usize]).sum::<f64>() / jfk.len() as f64;
+        let jfk_mean: f64 = jfk.iter().map(|&r| fares[r as usize]).sum::<f64>() / jfk.len() as f64;
         assert!((jfk_mean - 52.0).abs() < 2.0);
         assert!(jfk_mean > 2.0 * global, "JFK fares must be an outlier population");
     }
@@ -418,10 +417,7 @@ mod tests {
         let t = small();
         let pickups = t.column_by_name("pickup").unwrap().as_point_slice().unwrap();
         let manhattan_center = Point::new(0.465, 0.58);
-        let near = pickups
-            .iter()
-            .filter(|p| p.euclidean(&manhattan_center) < 0.12)
-            .count();
+        let near = pickups.iter().filter(|p| p.euclidean(&manhattan_center) < 0.12).count();
         let frac = near as f64 / pickups.len() as f64;
         assert!(frac > 0.45, "Manhattan share too low: {frac}");
     }
@@ -436,8 +432,6 @@ mod tests {
     fn points_stay_in_unit_square() {
         let t = small();
         let pickups = t.column_by_name("pickup").unwrap().as_point_slice().unwrap();
-        assert!(pickups
-            .iter()
-            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        assert!(pickups.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
     }
 }

@@ -43,11 +43,8 @@ impl Workload {
     /// populated by construction).
     pub fn generate(&self, table: &Table, n: usize, seed: u64) -> Result<Vec<QueryCell>> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let cols: Vec<usize> = self
-            .attrs
-            .iter()
-            .map(|a| table.schema().index_of(a))
-            .collect::<Result<_>>()?;
+        let cols: Vec<usize> =
+            self.attrs.iter().map(|a| table.schema().index_of(a)).collect::<Result<_>>()?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let row = rng.gen_range(0..table.len());
@@ -77,11 +74,7 @@ impl Workload {
                 codes.push(Some(code));
                 let value: Value = cat.decode(code);
                 parts.push(format!("{} = {}", self.attrs[i], value));
-                predicate = predicate.and(
-                    self.attrs[i].clone(),
-                    tabula_storage::CmpOp::Eq,
-                    value,
-                );
+                predicate = predicate.and(self.attrs[i].clone(), tabula_storage::CmpOp::Eq, value);
             } else {
                 codes.push(None);
             }

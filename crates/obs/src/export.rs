@@ -1,0 +1,150 @@
+//! Renderings of a [`MetricsSnapshot`]: JSON and Prometheus text exposition.
+//!
+//! Both are written with plain `std` string building — the obs crate stays
+//! dependency-free so it can sit below every other crate in the workspace.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+        h.count,
+        h.sum_ns,
+        h.mean_ns(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max_ns,
+    )
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as a compact JSON object with `counters`, `gauges`
+    /// and `histograms` sections. Histogram values are summarized (count, sum,
+    /// mean, p50/p95/p99, max) rather than dumping raw buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, v)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(k), histogram_json(v));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Metric names are sanitized (`.` and `-` become `_`) and prefixed with
+    /// `tabula_`; histograms are exposed as summaries with `quantile` labels
+    /// plus `_sum` (in seconds) and `_count` series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", ns_to_secs(v));
+            }
+            let _ = writeln!(out, "{name}_sum {}", ns_to_secs(h.sum_ns));
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("tabula_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn ns_to_secs(ns: u64) -> String {
+    format!("{:.9}", ns as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+
+    #[test]
+    fn json_contains_all_sections() {
+        let r = Registry::new();
+        r.counter("query.local_hit").add(3);
+        r.gauge("cube.cells").set(128);
+        r.histogram("query.latency").record(1500);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"query.local_hit\":3"), "{json}");
+        assert!(json.contains("\"cube.cells\":128"), "{json}");
+        assert!(json.contains("\"query.latency\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"max_ns\":1500"), "{json}");
+        // Must be parseable by the workspace JSON parser shape: balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    }
+
+    #[test]
+    fn prometheus_text_format() {
+        let r = Registry::new();
+        r.counter("query.global_hit").add(7);
+        r.histogram("query.latency").record(2_000_000_000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE tabula_query_global_hit counter"), "{text}");
+        assert!(text.contains("tabula_query_global_hit 7"), "{text}");
+        assert!(text.contains("# TYPE tabula_query_latency summary"), "{text}");
+        assert!(text.contains("tabula_query_latency_count 1"), "{text}");
+        assert!(text.contains("quantile=\"0.99\""), "{text}");
+        assert!(text.contains("tabula_query_latency_sum 2.000000000"), "{text}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # tabula-obs — zero-dependency observability for the Tabula cube pipeline
+//!
+//! This crate is the instrumentation substrate for the whole workspace. It is
+//! deliberately `std`-only (atomics + `Instant`, no external crates) so it can
+//! sit below every other crate without dragging in dependencies.
+//!
+//! Three pillars:
+//!
+//! * **Spans** ([`span!`], [`SpanGuard`], [`Subscriber`], [`MemoryCollector`]):
+//!   RAII-timed regions with per-thread nesting depth and a pluggable global
+//!   subscriber. Disabled spans cost one relaxed atomic load.
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]):
+//!   named atomic metrics with log₂-bucketed latency histograms
+//!   (p50/p95/p99/max), point-in-time [`MetricsSnapshot`]s, and JSON /
+//!   Prometheus text exporters.
+//! * **Provenance** ([`ProvenanceCounters`]): where did each query answer come
+//!   from — local cell sample, global-sample fallback, or empty cell.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tabula_obs as obs;
+//!
+//! // Install the default in-memory span collector.
+//! let collector = Arc::new(obs::MemoryCollector::new());
+//! obs::set_subscriber(collector.clone());
+//!
+//! {
+//!     let _span = obs::span!("build.dry_run", "cuboids={}", 8);
+//!     obs::metrics::global().counter("dry_run.cells").add(128);
+//! }
+//!
+//! obs::clear_subscriber();
+//! assert_eq!(collector.count_of("build.dry_run"), 1);
+//! let json = obs::metrics::global().snapshot().to_json();
+//! assert!(json.contains("dry_run.cells"));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod provenance;
+pub mod span;
+pub mod timing;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use provenance::ProvenanceCounters;
+pub use span::{
+    clear_subscriber, set_subscriber, timed, tracing_enabled, MemoryCollector, SpanGuard,
+    SpanRecord, Subscriber,
+};
+pub use timing::PhaseTimer;

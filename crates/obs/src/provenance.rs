@@ -1,0 +1,117 @@
+//! Query provenance accounting.
+//!
+//! Every cube query answer is served from one of three sources (the paper's
+//! Section V taxonomy): a materialized *local* sample for the queried cell, a
+//! fallback to the *global* sample, or nothing at all because the cell's
+//! domain is empty. [`ProvenanceCounters`] tallies those outcomes with one
+//! relaxed `fetch_add` per query — cheap enough to stay on permanently inside
+//! `SamplingCube::query_cell`.
+
+use crate::metrics::{Counter, Registry};
+use std::sync::Arc;
+
+/// Counter name for answers served from a cell's local sample.
+pub const LOCAL_HIT: &str = "query.provenance.local_hit";
+/// Counter name for answers that fell back to the global sample.
+pub const GLOBAL_HIT: &str = "query.provenance.global_hit";
+/// Counter name for queries on cells with an empty domain.
+pub const CELL_MISS: &str = "query.provenance.cell_miss";
+
+/// Pre-resolved handles to the three provenance counters of a [`Registry`].
+///
+/// Resolve once (at cube construction), then tally lock-free. Cloning shares
+/// the underlying counters.
+#[derive(Debug, Clone)]
+pub struct ProvenanceCounters {
+    local_hit: Arc<Counter>,
+    global_hit: Arc<Counter>,
+    cell_miss: Arc<Counter>,
+}
+
+impl ProvenanceCounters {
+    /// Resolve the provenance counters in `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            local_hit: registry.counter(LOCAL_HIT),
+            global_hit: registry.counter(GLOBAL_HIT),
+            cell_miss: registry.counter(CELL_MISS),
+        }
+    }
+
+    /// Resolve against the process-wide registry.
+    pub fn global() -> Self {
+        Self::in_registry(crate::metrics::global())
+    }
+
+    #[inline]
+    pub fn record_local_hit(&self) {
+        self.local_hit.inc();
+    }
+
+    #[inline]
+    pub fn record_global_hit(&self) {
+        self.global_hit.inc();
+    }
+
+    #[inline]
+    pub fn record_cell_miss(&self) {
+        self.cell_miss.inc();
+    }
+
+    pub fn local_hits(&self) -> u64 {
+        self.local_hit.get()
+    }
+
+    pub fn global_hits(&self) -> u64 {
+        self.global_hit.get()
+    }
+
+    pub fn cell_misses(&self) -> u64 {
+        self.cell_miss.get()
+    }
+
+    /// Total queries accounted for. For a workload whose every query goes
+    /// through the cube, this equals the workload size exactly.
+    pub fn total(&self) -> u64 {
+        self.local_hits() + self.global_hits() + self.cell_misses()
+    }
+}
+
+impl Default for ProvenanceCounters {
+    fn default() -> Self {
+        Self::global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_land_in_owning_registry() {
+        let r = Registry::new();
+        let p = ProvenanceCounters::in_registry(&r);
+        p.record_local_hit();
+        p.record_local_hit();
+        p.record_global_hit();
+        p.record_cell_miss();
+        assert_eq!(p.local_hits(), 2);
+        assert_eq!(p.global_hits(), 1);
+        assert_eq!(p.cell_misses(), 1);
+        assert_eq!(p.total(), 4);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(LOCAL_HIT), 2);
+        assert_eq!(snap.counter(GLOBAL_HIT), 1);
+        assert_eq!(snap.counter(CELL_MISS), 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let r = Registry::new();
+        let a = ProvenanceCounters::in_registry(&r);
+        let b = a.clone();
+        a.record_local_hit();
+        b.record_local_hit();
+        assert_eq!(a.local_hits(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! RAII tracing spans with a pluggable [`Subscriber`].
+//!
+//! A span measures one region of work. Entering returns a [`SpanGuard`];
+//! dropping it computes the elapsed time and delivers a [`SpanRecord`] to the
+//! installed subscriber (if any). Nesting depth is tracked per thread so
+//! subscribers can reconstruct the call tree.
+//!
+//! When no subscriber is installed and tracing is disabled, entering a span
+//! is one atomic load plus one clock read — cheap enough to leave
+//! instrumentation in place permanently. The guard still measures: `stop()`
+//! and `elapsed()` return real durations either way, so code can derive its
+//! own timing statistics from the same spans subscribers observe.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// A completed span, as delivered to [`Subscriber::on_exit`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Static-ish span name, e.g. `"build.dry_run"`. Low cardinality by
+    /// convention: put variable data in `detail`, not the name.
+    pub name: Cow<'static, str>,
+    /// Free-form detail for this particular span instance (may be empty).
+    pub detail: String,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: usize,
+    /// Start time, relative to an arbitrary per-process epoch.
+    pub start: Instant,
+    /// Wall-clock duration of the span.
+    pub duration: Duration,
+}
+
+/// Receives span lifecycle events. Implementations must be cheap and
+/// thread-safe; `on_exit` is called from whichever thread ran the span.
+pub trait Subscriber: Send + Sync {
+    /// Called when a span is entered. Default: no-op.
+    fn on_enter(&self, _name: &str, _depth: usize) {}
+    /// Called when a span ends.
+    fn on_exit(&self, span: &SpanRecord);
+}
+
+/// Default subscriber: appends every finished span to an in-memory list.
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemoryCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All finished spans, in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Total recorded duration of spans with the given name.
+    pub fn total_of(&self, name: &str) -> Duration {
+        self.records.lock().unwrap().iter().filter(|r| r.name == name).map(|r| r.duration).sum()
+    }
+
+    /// Number of finished spans with the given name.
+    pub fn count_of(&self, name: &str) -> usize {
+        self.records.lock().unwrap().iter().filter(|r| r.name == name).count()
+    }
+
+    pub fn clear(&self) {
+        self.records.lock().unwrap().clear();
+    }
+}
+
+impl Subscriber for MemoryCollector {
+    fn on_exit(&self, span: &SpanRecord) {
+        self.records.lock().unwrap().push(span.clone());
+    }
+}
+
+static TRACING_ON: AtomicBool = AtomicBool::new(false);
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Install the process-wide subscriber and enable tracing. Replaces any
+/// previous subscriber; returns the old one if present.
+pub fn set_subscriber(sub: Arc<dyn Subscriber>) -> Option<Arc<dyn Subscriber>> {
+    let old = SUBSCRIBER.write().unwrap().replace(sub);
+    TRACING_ON.store(true, Ordering::Release);
+    old
+}
+
+/// Remove the subscriber and disable tracing.
+pub fn clear_subscriber() -> Option<Arc<dyn Subscriber>> {
+    TRACING_ON.store(false, Ordering::Release);
+    SUBSCRIBER.write().unwrap().take()
+}
+
+/// Whether a subscriber is currently installed.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING_ON.load(Ordering::Acquire)
+}
+
+fn current_subscriber() -> Option<Arc<dyn Subscriber>> {
+    SUBSCRIBER.read().unwrap().clone()
+}
+
+/// RAII guard for an in-flight span. Created by [`SpanGuard::enter`] or the
+/// [`span!`](crate::span!) macro; the span ends when the guard drops.
+///
+/// The guard *always* measures wall time — [`SpanGuard::stop`] and
+/// [`SpanGuard::elapsed`] report real durations whether or not a subscriber
+/// is installed (callers like the cube builder derive their stage statistics
+/// from these). Only the subscriber delivery and depth bookkeeping are gated
+/// on tracing being enabled.
+#[derive(Debug)]
+#[must_use = "a span measures nothing unless the guard is held"]
+pub struct SpanGuard {
+    start: Instant,
+    finished: bool,
+    /// Present only while tracing is enabled.
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: Cow<'static, str>,
+    detail: String,
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Enter a span. When tracing is disabled this is one atomic load plus
+    /// one clock read; the guard still times, but delivers nothing.
+    pub fn enter(name: impl Into<Cow<'static, str>>, detail: String) -> Self {
+        let inner = if tracing_enabled() {
+            let name = name.into();
+            let depth = DEPTH.with(|d| {
+                let cur = d.get();
+                d.set(cur + 1);
+                cur
+            });
+            if let Some(sub) = current_subscriber() {
+                sub.on_enter(&name, depth);
+            }
+            Some(SpanInner { name, detail, depth })
+        } else {
+            None
+        };
+        Self { start: Instant::now(), finished: false, inner }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// End the span now, returning its duration.
+    pub fn stop(mut self) -> Duration {
+        self.finish().unwrap_or_default()
+    }
+
+    fn finish(&mut self) -> Option<Duration> {
+        if self.finished {
+            return None;
+        }
+        self.finished = true;
+        let duration = self.start.elapsed();
+        if let Some(inner) = self.inner.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            if let Some(sub) = current_subscriber() {
+                sub.on_exit(&SpanRecord {
+                    name: inner.name,
+                    detail: inner.detail,
+                    depth: inner.depth,
+                    start: self.start,
+                    duration,
+                });
+            }
+        }
+        Some(duration)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Run `f` inside a span named `name`, returning its result and the measured
+/// duration. The duration is measured even when tracing is disabled, so this
+/// doubles as a plain timing helper.
+pub fn timed<T>(name: impl Into<Cow<'static, str>>, f: impl FnOnce() -> T) -> (T, Duration) {
+    let guard = SpanGuard::enter(name, String::new());
+    let out = f();
+    (out, guard.stop())
+}
+
+/// Enter a span: `span!("name")` or `span!("name", "detail {}", x)`.
+/// Binds nothing — assign the result (`let _span = span!("x");`) so the guard
+/// lives until the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, ::std::string::String::new())
+    };
+    ($name:expr, $($detail:tt)+) => {
+        $crate::SpanGuard::enter($name, ::std::format!($($detail)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Subscriber state is process-global, so every test that installs one
+    // runs under this lock to avoid cross-test interference.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_still_time_but_deliver_nothing() {
+        let _l = TEST_LOCK.lock().unwrap();
+        clear_subscriber();
+        let g = SpanGuard::enter("nothing", String::new());
+        std::thread::sleep(Duration::from_millis(1));
+        let d = g.stop();
+        assert!(d >= Duration::from_millis(1), "disabled span must still measure, got {d:?}");
+    }
+
+    #[test]
+    fn collector_sees_nested_spans_in_exit_order_with_depths() {
+        let _l = TEST_LOCK.lock().unwrap();
+        let collector = Arc::new(MemoryCollector::new());
+        set_subscriber(collector.clone());
+        {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner", "cuboid={}", 3);
+            }
+        }
+        clear_subscriber();
+        let recs = collector.records();
+        assert_eq!(recs.len(), 2);
+        // Inner exits first.
+        assert_eq!(recs[0].name, "inner");
+        assert_eq!(recs[0].detail, "cuboid=3");
+        assert_eq!(recs[0].depth, 1);
+        assert_eq!(recs[1].name, "outer");
+        assert_eq!(recs[1].depth, 0);
+        assert!(recs[1].duration >= recs[0].duration);
+        assert!(collector.total_of("outer") >= collector.total_of("inner"));
+        assert_eq!(collector.count_of("inner"), 1);
+    }
+
+    #[test]
+    fn stop_returns_duration_and_depth_unwinds() {
+        let _l = TEST_LOCK.lock().unwrap();
+        let collector = Arc::new(MemoryCollector::new());
+        set_subscriber(collector.clone());
+        let g = span!("timed");
+        let d = g.stop();
+        // Depth restored: a fresh span is top-level again.
+        let _g2 = span!("after");
+        drop(_g2);
+        clear_subscriber();
+        let recs = collector.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].duration, d);
+        assert_eq!(recs[1].depth, 0);
+    }
+
+    #[test]
+    fn timed_measures_even_without_subscriber() {
+        let _l = TEST_LOCK.lock().unwrap();
+        clear_subscriber();
+        let (val, dur) = timed("work", || {
+            std::thread::sleep(Duration::from_millis(1));
+            7
+        });
+        assert_eq!(val, 7);
+        assert!(dur >= Duration::from_millis(1));
+    }
+}

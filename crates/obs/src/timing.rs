@@ -1,0 +1,113 @@
+//! Phase timing accumulator, shared by the viz pipeline and benchmarks.
+//!
+//! Re-homed here from `tabula-viz` so every layer can accumulate phase times
+//! without depending on the visualization crate.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates total elapsed time and invocation count for one named phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimer {
+    total: Duration,
+    count: u64,
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.total += elapsed;
+        self.count += 1;
+    }
+
+    /// Time a closure and record its duration, returning the closure's value.
+    pub fn timed<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration per observation ([`Duration::ZERO`] when empty).
+    ///
+    /// Computed in u128 nanoseconds: the obvious `total / count as u32`
+    /// truncates `count` and panics on zero, and overflows `as_nanos() as u64`
+    /// arithmetic after ~584 years of accumulated time. Dividing the exact
+    /// nanosecond total sidesteps both.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let mean_ns = self.total.as_nanos() / self.count as u128;
+        // A mean can never exceed the (u64-representable in practice) total.
+        Duration::from_nanos(u64::try_from(mean_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Merge another timer's observations into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        self.total += other.total;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(PhaseTimer::new().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact_nanosecond_division() {
+        let mut t = PhaseTimer::new();
+        t.record(Duration::from_nanos(10));
+        t.record(Duration::from_nanos(21));
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.total(), Duration::from_nanos(31));
+        assert_eq!(t.mean(), Duration::from_nanos(15));
+    }
+
+    /// Regression test for the u32 truncation bug: with more than u32::MAX
+    /// pretend-observations the old `self.total / self.count as u32` cast
+    /// wrapped the divisor (here to 1), inflating the mean by ~4.3 billion×.
+    #[test]
+    fn mean_survives_counts_beyond_u32() {
+        let mut t = PhaseTimer::new();
+        t.total = Duration::from_secs(u32::MAX as u64 + 1);
+        t.count = u32::MAX as u64 + 1; // would truncate to 1 as u32... (old bug)
+        assert_eq!(t.mean(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn timed_records_and_returns() {
+        let mut t = PhaseTimer::new();
+        let v = t.timed(|| 99);
+        assert_eq!(v, 99);
+        assert_eq!(t.count(), 1);
+        assert!(t.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = PhaseTimer::new();
+        let mut b = PhaseTimer::new();
+        a.record(Duration::from_millis(2));
+        b.record(Duration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the latency histogram: with power-of-two
+//! buckets, any quantile estimate must land in the same bucket as the true
+//! order statistic — i.e. within a factor of two — and never exceed the
+//! observed maximum.
+
+use proptest::prelude::*;
+use tabula_obs::Histogram;
+
+/// The exact order statistic the estimator targets: rank `ceil(q·n)`,
+/// clamped to `1..=n`, of the sorted samples.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// count / sum / max are exact, and every quantile estimate is within
+    /// the log₂ bucket of the true order statistic (a factor of two) and
+    /// clamped to the observed maximum.
+    #[test]
+    fn quantile_estimates_stay_within_one_bucket(
+        samples in collection::vec(0u64..1_000_000_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum_ns, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max_ns, *sorted.last().unwrap());
+
+        let est = snap.quantile(q);
+        let truth = true_quantile(&sorted, q);
+        prop_assert!(
+            est <= 2 * truth + 1,
+            "q={} estimate {} overshoots true {} by more than a bucket", q, est, truth
+        );
+        prop_assert!(
+            2 * est >= truth,
+            "q={} estimate {} undershoots true {} by more than a bucket", q, est, truth
+        );
+        prop_assert!(est <= snap.max_ns, "estimate {} above max {}", est, snap.max_ns);
+    }
+
+    /// Quantile estimates are monotone in `q`.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in collection::vec(0u64..1_000_000_000, 1..400),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(
+            snap.quantile(lo) <= snap.quantile(hi),
+            "quantile({}) = {} > quantile({}) = {}",
+            lo, snap.quantile(lo), hi, snap.quantile(hi)
+        );
+    }
+}

@@ -5,10 +5,13 @@ use crate::parser::parse;
 use crate::{Result, SqlError};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use tabula_core::cube::{BuildStats, SampleProvenance, SamplingCube};
 use tabula_core::loss::expr::{Expr, ExprLoss};
 use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
 use tabula_core::{MaterializationMode, SamplingCubeBuilder, SerflingConfig};
+use tabula_obs as obs;
+use tabula_obs::span;
 use tabula_storage::{Predicate, Table};
 
 /// How a registered loss function binds to target attributes at cube
@@ -78,6 +81,7 @@ pub struct Session {
     seed: u64,
     serfling: SerflingConfig,
     mode: MaterializationMode,
+    registry: Arc<obs::Registry>,
 }
 
 impl Default for Session {
@@ -94,10 +98,7 @@ impl Session {
         let mut losses = HashMap::new();
         losses.insert("mean_loss".into(), LossDecl::Mean);
         losses.insert("heatmap_loss".into(), LossDecl::Heatmap(Metric::Euclidean));
-        losses.insert(
-            "heatmap_loss_manhattan".into(),
-            LossDecl::Heatmap(Metric::Manhattan),
-        );
+        losses.insert("heatmap_loss_manhattan".into(), LossDecl::Heatmap(Metric::Manhattan));
         losses.insert("histogram_loss".into(), LossDecl::Histogram);
         losses.insert("regression_loss".into(), LossDecl::Regression);
         Session {
@@ -107,7 +108,26 @@ impl Session {
             seed: 42,
             serfling: SerflingConfig::default(),
             mode: MaterializationMode::Tabula,
+            registry: Arc::clone(obs::global()),
         }
+    }
+
+    /// Use a private metrics registry instead of the process-wide one
+    /// (statement timings, query latencies and cube provenance counters
+    /// all land there).
+    pub fn with_registry(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The session's metrics registry.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
+    /// Point-in-time snapshot of the session's metrics.
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Override the RNG seed used for global samples.
@@ -151,7 +171,24 @@ impl Session {
     }
 
     /// Execute a pre-parsed statement.
+    ///
+    /// Every statement is timed: the wall time lands in the session
+    /// registry's `sql.statement` histogram (plus a per-kind counter), and
+    /// a `sql.statement` span is emitted for any installed subscriber.
     pub fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let kind = statement_kind(&stmt);
+        let _span = span!("sql.statement", "{kind}");
+        let start = Instant::now();
+        let result = self.dispatch(stmt);
+        self.registry.histogram("sql.statement").record_duration(start.elapsed());
+        self.registry.counter(&format!("sql.stmt.{kind}")).inc();
+        if result.is_err() {
+            self.registry.counter("sql.errors").inc();
+        }
+        result
+    }
+
+    fn dispatch(&mut self, stmt: Statement) -> Result<QueryResult> {
         match stmt {
             Statement::CreateAggregate { name, body } => {
                 if self.losses.contains_key(&name) {
@@ -164,14 +201,15 @@ impl Session {
                 if self.cubes.contains_key(&name) {
                     return Err(SqlError::AlreadyExists(name));
                 }
-                let table = Arc::clone(self.tables.get(&source).ok_or(SqlError::Unknown {
-                    kind: "table",
-                    name: source.clone(),
-                })?);
-                let decl = self.losses.get(&loss.name).ok_or(SqlError::Unknown {
-                    kind: "loss function",
-                    name: loss.name.clone(),
-                })?;
+                let table = Arc::clone(
+                    self.tables
+                        .get(&source)
+                        .ok_or(SqlError::Unknown { kind: "table", name: source.clone() })?,
+                );
+                let decl = self
+                    .losses
+                    .get(&loss.name)
+                    .ok_or(SqlError::Unknown { kind: "loss function", name: loss.name.clone() })?;
                 // Resolve target attributes up front (before `table` moves
                 // into the builder).
                 let targets: Vec<usize> = loss
@@ -227,22 +265,24 @@ impl Session {
                 Ok(QueryResult::CubeCreated { name, stats })
             }
             Statement::SelectSample { cube, conditions } => {
-                let cube_ref = self.cubes.get(&cube).ok_or(SqlError::Unknown {
-                    kind: "cube",
-                    name: cube.clone(),
-                })?;
+                let cube_ref = self
+                    .cubes
+                    .get(&cube)
+                    .ok_or(SqlError::Unknown { kind: "cube", name: cube.clone() })?;
                 let pred = predicate_of(&conditions);
+                let q_start = Instant::now();
                 let answer = cube_ref.query(&pred)?;
+                self.registry.histogram("query.latency").record_duration(q_start.elapsed());
                 Ok(QueryResult::Sample {
                     table: answer.materialize(cube_ref.table()),
                     provenance: answer.provenance,
                 })
             }
             Statement::SelectRaw { table, conditions } => {
-                let t = self.tables.get(&table).ok_or(SqlError::Unknown {
-                    kind: "table",
-                    name: table.clone(),
-                })?;
+                let t = self
+                    .tables
+                    .get(&table)
+                    .ok_or(SqlError::Unknown { kind: "table", name: table.clone() })?;
                 let pred = predicate_of(&conditions);
                 let rows = pred.filter(t)?;
                 Ok(QueryResult::Table(t.take(&rows)))
@@ -254,21 +294,16 @@ impl Session {
                         .ok_or(SqlError::Unknown { kind: "cube", name: name.clone() })?;
                     Ok(QueryResult::Dropped(name))
                 }
-                DropKind::Aggregate => {
-                    match self.losses.get(&name) {
-                        Some(LossDecl::UserExpr(_)) => {
-                            self.losses.remove(&name);
-                            Ok(QueryResult::Dropped(name))
-                        }
-                        Some(_) => Err(SqlError::Core(format!(
-                            "cannot drop built-in loss function {name}"
-                        ))),
-                        None => Err(SqlError::Unknown {
-                            kind: "loss function",
-                            name,
-                        }),
+                DropKind::Aggregate => match self.losses.get(&name) {
+                    Some(LossDecl::UserExpr(_)) => {
+                        self.losses.remove(&name);
+                        Ok(QueryResult::Dropped(name))
                     }
-                }
+                    Some(_) => {
+                        Err(SqlError::Core(format!("cannot drop built-in loss function {name}")))
+                    }
+                    None => Err(SqlError::Unknown { kind: "loss function", name }),
+                },
             },
             Statement::Show(kind) => {
                 let mut lines: Vec<String> = match kind {
@@ -308,10 +343,10 @@ impl Session {
                 Ok(QueryResult::Info(lines))
             }
             Statement::ExplainCube(name) => {
-                let cube = self.cubes.get(&name).ok_or(SqlError::Unknown {
-                    kind: "cube",
-                    name: name.clone(),
-                })?;
+                let cube = self
+                    .cubes
+                    .get(&name)
+                    .ok_or(SqlError::Unknown { kind: "cube", name: name.clone() })?;
                 let s = cube.stats();
                 let m = cube.memory_breakdown();
                 Ok(QueryResult::Info(vec![
@@ -353,8 +388,22 @@ impl Session {
             .seed(self.seed)
             .serfling(self.serfling)
             .mode(self.mode)
+            .registry(Arc::clone(&self.registry))
             .build()
             .map_err(SqlError::from)
+    }
+}
+
+/// Low-cardinality label for per-statement metrics.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::CreateAggregate { .. } => "create_aggregate",
+        Statement::CreateCube { .. } => "create_cube",
+        Statement::SelectSample { .. } => "select_sample",
+        Statement::SelectRaw { .. } => "select_raw",
+        Statement::Drop { .. } => "drop",
+        Statement::Show(_) => "show",
+        Statement::ExplainCube(_) => "explain_cube",
     }
 }
 
@@ -398,9 +447,8 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Query 2: fetch a sample.
-        let result = s
-            .execute("SELECT sample FROM SamplingCube WHERE D = '[0,5)' AND C = 1")
-            .unwrap();
+        let result =
+            s.execute("SELECT sample FROM SamplingCube WHERE D = '[0,5)' AND C = 1").unwrap();
         match result {
             QueryResult::Sample { table, provenance } => {
                 assert!(!table.is_empty());
@@ -520,15 +568,10 @@ mod tests {
 
         // DROP frees the name for reuse; built-ins cannot be dropped.
         assert!(matches!(s.execute("DROP CUBE c").unwrap(), QueryResult::Dropped(_)));
-        assert!(matches!(
-            s.execute("DROP CUBE c"),
-            Err(SqlError::Unknown { kind: "cube", .. })
-        ));
+        assert!(matches!(s.execute("DROP CUBE c"), Err(SqlError::Unknown { kind: "cube", .. })));
         assert!(matches!(s.execute("DROP AGGREGATE mean_loss"), Err(SqlError::Core(_))));
-        s.execute(
-            "CREATE AGGREGATE u(Raw, Sam) RETURN decimal_value AS BEGIN AVG(Raw) END",
-        )
-        .unwrap();
+        s.execute("CREATE AGGREGATE u(Raw, Sam) RETURN decimal_value AS BEGIN AVG(Raw) END")
+            .unwrap();
         assert!(matches!(s.execute("DROP AGGREGATE u").unwrap(), QueryResult::Dropped(_)));
         // The cube name is reusable after DROP.
         assert!(s
@@ -561,11 +604,9 @@ mod tests {
             // Exact raw answer.
             let raw_rows = Predicate::eq("M", m).filter(&t).unwrap();
             // Compare means directly (sample is a standalone table).
-            let raw_mean: f64 = raw_rows
-                .iter()
-                .map(|&r| t.value(r as usize, fare).as_f64().unwrap())
-                .sum::<f64>()
-                / raw_rows.len() as f64;
+            let raw_mean: f64 =
+                raw_rows.iter().map(|&r| t.value(r as usize, fare).as_f64().unwrap()).sum::<f64>()
+                    / raw_rows.len() as f64;
             let sam_col = sample.column(fare).as_f64_slice().unwrap();
             let sam_mean: f64 = sam_col.iter().sum::<f64>() / sam_col.len() as f64;
             let rel = ((raw_mean - sam_mean) / raw_mean).abs();

@@ -96,9 +96,7 @@ impl Parser {
             if self.accept_kw("AGGREGATE") {
                 return self.create_aggregate();
             }
-            return Err(SqlError::Parse(
-                "expected TABLE or AGGREGATE after CREATE".into(),
-            ));
+            return Err(SqlError::Parse("expected TABLE or AGGREGATE after CREATE".into()));
         }
         if self.accept_kw("SELECT") {
             return self.select();
@@ -109,9 +107,7 @@ impl Parser {
             } else if self.accept_kw("AGGREGATE") {
                 DropKind::Aggregate
             } else {
-                return Err(SqlError::Parse(
-                    "expected CUBE or AGGREGATE after DROP".into(),
-                ));
+                return Err(SqlError::Parse("expected CUBE or AGGREGATE after DROP".into()));
             };
             let name = self.ident()?;
             return Ok(Statement::Drop { kind, name });
@@ -288,9 +284,7 @@ impl Parser {
                 }
                 Token::Str(s) => Value::Str(s),
                 Token::Minus => Value::Float64(-self.number()?),
-                other => {
-                    return Err(SqlError::Parse(format!("expected literal, found {other:?}")))
-                }
+                other => return Err(SqlError::Parse(format!("expected literal, found {other:?}"))),
             };
             terms.push(WhereTerm { column, op, value });
             if !self.accept_kw("AND") {
@@ -387,9 +381,9 @@ impl Parser {
                 self.expect(Token::RParen)?;
                 Ok(Expr::Agg(agg, side))
             }
-            other => Err(SqlError::Parse(format!(
-                "unexpected token in loss expression: {other:?}"
-            ))),
+            other => {
+                Err(SqlError::Parse(format!("unexpected token in loss expression: {other:?}")))
+            }
         }
     }
 }
@@ -414,10 +408,7 @@ mod tests {
                 source: "nyctaxi".into(),
                 cubed_attrs: vec!["D".into(), "C".into(), "M".into()],
                 theta: 0.1,
-                loss: LossRef {
-                    name: "heatmap_loss".into(),
-                    target_attrs: vec!["pickup".into()],
-                },
+                loss: LossRef { name: "heatmap_loss".into(), target_attrs: vec!["pickup".into()] },
             }
         );
     }
@@ -456,8 +447,7 @@ mod tests {
 
     #[test]
     fn parses_paper_query_2() {
-        let stmt =
-            parse("SELECT sample FROM SamplingCube WHERE D = '[0,5)' AND C = 1").unwrap();
+        let stmt = parse("SELECT sample FROM SamplingCube WHERE D = '[0,5)' AND C = 1").unwrap();
         match stmt {
             Statement::SelectSample { cube, conditions } => {
                 assert_eq!(cube, "SamplingCube");
@@ -551,10 +541,7 @@ mod tests {
         );
         assert_eq!(parse("SHOW CUBES").unwrap(), Statement::Show(ShowKind::Cubes));
         assert_eq!(parse("SHOW TABLES").unwrap(), Statement::Show(ShowKind::Tables));
-        assert_eq!(
-            parse("SHOW AGGREGATES").unwrap(),
-            Statement::Show(ShowKind::Aggregates)
-        );
+        assert_eq!(parse("SHOW AGGREGATES").unwrap(), Statement::Show(ShowKind::Aggregates));
         assert_eq!(
             parse("EXPLAIN CUBE SamplingCube").unwrap(),
             Statement::ExplainCube("SamplingCube".into())

@@ -38,7 +38,9 @@ impl Column {
         match ty {
             ColumnType::Int64 => Column::Int64(Vec::with_capacity(capacity)),
             ColumnType::Float64 => Column::Float64(Vec::with_capacity(capacity)),
-            ColumnType::Str => Column::Str { codes: Vec::with_capacity(capacity), dict: Dictionary::new() },
+            ColumnType::Str => {
+                Column::Str { codes: Vec::with_capacity(capacity), dict: Dictionary::new() }
+            }
             ColumnType::Point => Column::Point(Vec::with_capacity(capacity)),
         }
     }

@@ -104,11 +104,7 @@ impl CellKey {
     /// (`full`, one code per attribute) onto the mask.
     pub fn project(mask: CuboidMask, full: &[u32]) -> Self {
         CellKey {
-            codes: full
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| mask.contains(i).then_some(c))
-                .collect(),
+            codes: full.iter().enumerate().map(|(i, &c)| mask.contains(i).then_some(c)).collect(),
         }
     }
 
@@ -149,10 +145,7 @@ impl CellKey {
     /// Whether this cell is an ancestor of (or equal to) the finest key
     /// `full` — i.e. `full`'s row group is contained in this cell's group.
     pub fn covers(&self, full: &[u32]) -> bool {
-        self.codes
-            .iter()
-            .zip(full)
-            .all(|(c, &f)| c.is_none_or(|c| c == f))
+        self.codes.iter().zip(full).all(|(c, &f)| c.is_none_or(|c| c == f))
     }
 }
 
@@ -199,18 +192,12 @@ impl Lattice {
 
     /// The immediate parents of `mask` (one extra grouping attribute).
     pub fn parents(&self, mask: CuboidMask) -> Vec<CuboidMask> {
-        (0..self.n)
-            .filter(|&i| !mask.contains(i))
-            .map(|i| CuboidMask(mask.0 | (1 << i)))
-            .collect()
+        (0..self.n).filter(|&i| !mask.contains(i)).map(|i| CuboidMask(mask.0 | (1 << i))).collect()
     }
 
     /// The immediate children of `mask` (one fewer grouping attribute).
     pub fn children(&self, mask: CuboidMask) -> Vec<CuboidMask> {
-        (0..self.n)
-            .filter(|&i| mask.contains(i))
-            .map(|i| CuboidMask(mask.0 & !(1 << i)))
-            .collect()
+        (0..self.n).filter(|&i| mask.contains(i)).map(|i| CuboidMask(mask.0 & !(1 << i))).collect()
     }
 }
 
@@ -280,7 +267,12 @@ where
 /// Compute every cuboid of the cube by algebraic rollup: one raw scan for
 /// the finest cuboid, then each coarser cuboid derived by merging an
 /// already-computed immediate parent.
-pub fn compute_cube<S, M, F>(table: &Table, cols: &[usize], make: M, fold: F) -> Result<CubeResult<S>>
+pub fn compute_cube<S, M, F>(
+    table: &Table,
+    cols: &[usize],
+    make: M,
+    fold: F,
+) -> Result<CubeResult<S>>
 where
     S: AggState,
     M: Fn() -> S,
@@ -292,11 +284,7 @@ where
 }
 
 /// Derive the full lattice from a precomputed finest cuboid.
-pub fn rollup_from_finest<S, M>(
-    n: usize,
-    finest: FxHashMap<Vec<u32>, S>,
-    make: &M,
-) -> CubeResult<S>
+pub fn rollup_from_finest<S, M>(n: usize, finest: FxHashMap<Vec<u32>, S>, make: &M) -> CubeResult<S>
 where
     S: AggState,
     M: Fn() -> S,
@@ -308,9 +296,7 @@ where
         if mask == CuboidMask::finest(n) {
             continue;
         }
-        let parent = mask
-            .a_parent(n)
-            .expect("every non-finest cuboid has a parent");
+        let parent = mask.a_parent(n).expect("every non-finest cuboid has a parent");
         // Position (within the parent's compact key) of the attribute
         // being rolled away.
         let removed_attr = parent.0 & !mask.0;
@@ -323,10 +309,7 @@ where
             let mut ckey = Vec::with_capacity(pkey.len() - 1);
             ckey.extend_from_slice(&pkey[..removed_idx]);
             ckey.extend_from_slice(&pkey[removed_idx + 1..]);
-            groups
-                .entry(ckey)
-                .or_insert_with(make)
-                .merge(state);
+            groups.entry(ckey).or_insert_with(make).merge(state);
         }
         cuboids.insert(mask, groups);
     }
@@ -364,10 +347,8 @@ mod tests {
 
     fn fare_cube(t: &Table) -> CubeResult<SumCount> {
         let fares = t.column(2).as_f64_slice().unwrap().to_vec();
-        compute_cube(t, &[0, 1], SumCount::default, move |s, row| {
-            s.add(fares[row as usize])
-        })
-        .unwrap()
+        compute_cube(t, &[0, 1], SumCount::default, move |s, row| s.add(fares[row as usize]))
+            .unwrap()
     }
 
     #[test]
@@ -410,9 +391,7 @@ mod tests {
     fn cube_all_cell_equals_full_table() {
         let t = table();
         let cube = fare_cube(&t);
-        let all = cube
-            .cell_state(&CellKey::new(vec![None, None]))
-            .unwrap();
+        let all = cube.cell_state(&CellKey::new(vec![None, None])).unwrap();
         assert_eq!(all.count, 6);
         assert!((all.sum - 40.0).abs() < 1e-9);
     }
@@ -422,21 +401,15 @@ mod tests {
         let t = table();
         let cube = fare_cube(&t);
         // ⟨cash, *⟩: rows 0, 2, 4 → fares 5 + 7 + 3.
-        let cash = cube
-            .cell_state(&CellKey::new(vec![Some(0), None]))
-            .unwrap();
+        let cash = cube.cell_state(&CellKey::new(vec![Some(0), None])).unwrap();
         assert_eq!(cash.count, 3);
         assert!((cash.sum - 15.0).abs() < 1e-9);
         // ⟨*, 2⟩: passengers code for value 2 is 1 → rows 1, 4, 5.
-        let two = cube
-            .cell_state(&CellKey::new(vec![None, Some(1)]))
-            .unwrap();
+        let two = cube.cell_state(&CellKey::new(vec![None, Some(1)])).unwrap();
         assert_eq!(two.count, 3);
         assert!((two.sum - 16.0).abs() < 1e-9);
         // Finest cell ⟨credit, 2⟩ = codes (1, 1): rows 1, 5.
-        let fine = cube
-            .cell_state(&CellKey::new(vec![Some(1), Some(1)]))
-            .unwrap();
+        let fine = cube.cell_state(&CellKey::new(vec![Some(1), Some(1)])).unwrap();
         assert_eq!(fine.count, 2);
         assert!((fine.sum - 13.0).abs() < 1e-9);
     }

@@ -56,20 +56,12 @@ impl Dictionary {
 
     /// Iterate over `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as u32, v.as_str()))
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
     }
 
     /// Rebuild the (serde-skipped) reverse index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), i as u32))
-            .collect();
+        self.index = self.values.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
     }
 
     /// Approximate heap bytes held by the dictionary.
@@ -110,10 +102,7 @@ mod tests {
         let mut d = Dictionary::new();
         d.encode("x");
         d.encode("y");
-        let mut restored = Dictionary {
-            index: FxHashMap::default(),
-            values: d.values.clone(),
-        };
+        let mut restored = Dictionary { index: FxHashMap::default(), values: d.values.clone() };
         assert_eq!(restored.lookup("y"), None); // index lost (as after serde)
         restored.rebuild_index();
         assert_eq!(restored.lookup("y"), Some(1));

@@ -163,9 +163,7 @@ impl CompiledTerm {
                 table.cat(*col).map(|c| c.codes()[row] == *code).unwrap_or(false)
             }
             CompiledTerm::General { col, op, value } => {
-                compare(&table.value(row, *col), value)
-                    .map(|ord| op.eval_ord(ord))
-                    .unwrap_or(false)
+                compare(&table.value(row, *col), value).map(|ord| op.eval_ord(ord)).unwrap_or(false)
             }
         }
     }

@@ -89,10 +89,7 @@ mod tests {
     fn index_lookup() {
         let s = sample_schema();
         assert_eq!(s.index_of("fare").unwrap(), 1);
-        assert!(matches!(
-            s.index_of("missing"),
-            Err(StorageError::UnknownColumn(_))
-        ));
+        assert!(matches!(s.index_of("missing"), Err(StorageError::UnknownColumn(_))));
         assert_eq!(s.field(0).name, "payment_type");
         assert_eq!(s.len(), 3);
     }
@@ -106,9 +103,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate column name")]
     fn duplicate_names_panic() {
-        Schema::new(vec![
-            Field::new("a", ColumnType::Int64),
-            Field::new("a", ColumnType::Str),
-        ]);
+        Schema::new(vec![Field::new("a", ColumnType::Int64), Field::new("a", ColumnType::Str)]);
     }
 }

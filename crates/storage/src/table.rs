@@ -100,14 +100,29 @@ struct TableRepr {
 ///
 /// Built once via [`TableBuilder`]; all analysis (filters, group-bys, cube
 /// construction, sampling) reads it concurrently without synchronization.
-#[derive(Debug, Serialize, Deserialize)]
-#[serde(from = "TableRepr", into = "TableRepr")]
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     len: usize,
     /// Per-column lazily-built categorical indexes for `Int64` columns.
     int_cat: Vec<OnceLock<Arc<IntCatIndex>>>,
+}
+
+// Hand-written (de)serialization through [`TableRepr`]: the lazily-built
+// categorical caches are dropped on write and rebuilt on demand, and
+// string-dictionary reverse indexes are restored eagerly on read.
+impl Serialize for Table {
+    fn to_value(&self) -> serde::Value {
+        TableRepr { schema: self.schema.clone(), columns: self.columns.clone(), len: self.len }
+            .to_value()
+    }
+}
+
+impl Deserialize for Table {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        TableRepr::from_value(v).map(Table::from)
+    }
 }
 
 impl Clone for Table {
@@ -148,8 +163,7 @@ impl From<Table> for TableRepr {
 impl Table {
     /// An empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns: Vec<Column> =
-            schema.fields().iter().map(|f| Column::empty(f.ty)).collect();
+        let columns: Vec<Column> = schema.fields().iter().map(|f| Column::empty(f.ty)).collect();
         let n = columns.len();
         Table { schema, columns, len: 0, int_cat: (0..n).map(|_| OnceLock::new()).collect() }
     }
@@ -197,13 +211,10 @@ impl Table {
         match &self.columns[col] {
             Column::Str { codes, dict } => Ok(Cat::Str(codes, dict)),
             Column::Int64(data) => {
-                let idx = self.int_cat[col]
-                    .get_or_init(|| Arc::new(IntCatIndex::build(data)));
+                let idx = self.int_cat[col].get_or_init(|| Arc::new(IntCatIndex::build(data)));
                 Ok(Cat::Int(idx))
             }
-            _ => Err(StorageError::NotCategorical(
-                self.schema.field(col).name.clone(),
-            )),
+            _ => Err(StorageError::NotCategorical(self.schema.field(col).name.clone())),
         }
     }
 
@@ -252,11 +263,8 @@ impl TableBuilder {
 
     /// A builder with per-column capacity pre-reserved for `capacity` rows.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Column::with_capacity(f.ty, capacity))
-            .collect();
+        let columns =
+            schema.fields().iter().map(|f| Column::with_capacity(f.ty, capacity)).collect();
         TableBuilder { schema, columns, len: 0 }
     }
 
@@ -356,10 +364,8 @@ mod tests {
 
     #[test]
     fn arity_and_type_errors_leave_builder_intact() {
-        let schema = Schema::new(vec![
-            Field::new("a", ColumnType::Str),
-            Field::new("b", ColumnType::Int64),
-        ]);
+        let schema =
+            Schema::new(vec![Field::new("a", ColumnType::Str), Field::new("b", ColumnType::Int64)]);
         let mut b = TableBuilder::new(schema);
         assert!(matches!(
             b.push_row(&["x".into()]),

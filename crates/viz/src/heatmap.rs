@@ -62,8 +62,7 @@ impl Heatmap {
             for dy in -r..=r {
                 for dx in -r..=r {
                     let (x, y) = (cx + dx, cy + dy);
-                    if x < 0 || y < 0 || x >= config.width as isize || y >= config.height as isize
-                    {
+                    if x < 0 || y < 0 || x >= config.width as isize || y >= config.height as isize {
                         continue;
                     }
                     // Gaussian falloff with σ ≈ radius/2.
@@ -106,12 +105,7 @@ impl Heatmap {
     pub fn diff(&self, other: &Heatmap) -> f64 {
         assert_eq!(self.density.len(), other.density.len(), "grid shapes differ");
         let n = self.density.len() as f64;
-        self.density
-            .iter()
-            .zip(&other.density)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            / n
+        self.density.iter().zip(&other.density).map(|(a, b)| (a - b).abs()).sum::<f64>() / n
     }
 
     /// Fraction of cells that are "hot" (density above `threshold`) in
@@ -205,8 +199,7 @@ mod tests {
         // points), so a 0.1 threshold marks it hot; the bad sample misses
         // it entirely while the uniform sample preserves it.
         assert!(
-            full_map.missing_hot_cells(&bad_map, 0.1)
-                > full_map.missing_hot_cells(&good_map, 0.1)
+            full_map.missing_hot_cells(&bad_map, 0.1) > full_map.missing_hot_cells(&good_map, 0.1)
         );
     }
 

@@ -64,11 +64,7 @@ impl Histogram {
     /// different the plotted shapes look (0 = identical, 2 = disjoint).
     pub fn shape_distance(&self, other: &Histogram) -> f64 {
         assert_eq!(self.counts.len(), other.counts.len(), "bucket counts differ");
-        self.frequencies()
-            .iter()
-            .zip(other.frequencies())
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        self.frequencies().iter().zip(other.frequencies()).map(|(a, b)| (a - b).abs()).sum()
     }
 }
 

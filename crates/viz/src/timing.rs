@@ -1,46 +1,18 @@
 //! Timing helpers for the data-to-visualization breakdown.
+//!
+//! [`PhaseTimer`] now lives in `tabula-obs` (re-exported here for
+//! compatibility) so the whole workspace shares one implementation — the
+//! viz-local copy had a `mean()` that truncated its divisor to u32.
 
 use std::time::{Duration, Instant};
+
+pub use tabula_obs::PhaseTimer;
 
 /// Run `f`, returning its result and elapsed wall time.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
-}
-
-/// Accumulates repeated measurements of one phase.
-#[derive(Debug, Clone, Default)]
-pub struct PhaseTimer {
-    total: Duration,
-    count: u64,
-}
-
-impl PhaseTimer {
-    /// Fold in one measurement.
-    pub fn record(&mut self, d: Duration) {
-        self.total += d;
-        self.count += 1;
-    }
-
-    /// Total accumulated time.
-    pub fn total(&self) -> Duration {
-        self.total
-    }
-
-    /// Mean time per measurement (zero when empty).
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            self.total / self.count as u32
-        }
-    }
-
-    /// Number of measurements.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
 }
 
 #[cfg(test)]

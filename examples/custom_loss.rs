@@ -12,8 +12,8 @@
 //! ```
 
 use std::sync::Arc;
-use tabula::core::loss::AccuracyLoss;
 use tabula::core::loss::expr::NumericState;
+use tabula::core::loss::AccuracyLoss;
 use tabula::core::sampling::{run_incremental_greedy, IncrementalEval};
 use tabula::core::SamplingCubeBuilder;
 use tabula::data::{TaxiConfig, TaxiGenerator, CUBED_ATTRIBUTES};
@@ -138,9 +138,7 @@ fn main() {
             stats.total_cells, stats.iceberg_cells, stats.total
         );
     }
-    let answer = session
-        .execute("SELECT sample FROM spread_cube WHERE rate_code = 'jfk'")
-        .unwrap();
+    let answer = session.execute("SELECT sample FROM spread_cube WHERE rate_code = 'jfk'").unwrap();
     if let QueryResult::Sample { table: sample, provenance } = answer {
         let fares = sample.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
         let max = fares.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -155,14 +153,10 @@ fn main() {
     let fare = table.schema().index_of("fare_amount").unwrap();
     let loss = RangeCoverageLoss { attr: fare };
     let theta = 0.5; // dollars
-    let cube = SamplingCubeBuilder::new(
-        Arc::clone(&table),
-        &CUBED_ATTRIBUTES[..4],
-        loss.clone(),
-        theta,
-    )
-    .build()
-    .unwrap();
+    let cube =
+        SamplingCubeBuilder::new(Arc::clone(&table), &CUBED_ATTRIBUTES[..4], loss.clone(), theta)
+            .build()
+            .unwrap();
     println!(
         "[Rust] range-coverage cube: {} cells, {} icebergs, {} persisted samples",
         cube.stats().total_cells,

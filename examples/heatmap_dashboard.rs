@@ -24,21 +24,15 @@ fn pickups(table: &Table, rows: &[RowId]) -> Vec<Point> {
 }
 
 fn main() {
-    let table =
-        Arc::new(TaxiGenerator::new(TaxiConfig { rows: 60_000, seed: 7 }).generate());
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 60_000, seed: 7 }).generate());
     let pickup_col = table.schema().index_of("pickup").unwrap();
     let theta = meters_to_norm(500.0);
     let loss = HeatmapLoss::new(pickup_col, Metric::Euclidean);
 
     // Tabula middleware.
-    let cube = SamplingCubeBuilder::new(
-        Arc::clone(&table),
-        &CUBED_ATTRIBUTES[..5],
-        loss,
-        theta,
-    )
-    .build()
-    .unwrap();
+    let cube = SamplingCubeBuilder::new(Arc::clone(&table), &CUBED_ATTRIBUTES[..5], loss, theta)
+        .build()
+        .unwrap();
 
     // SampleFirst baseline with a small pre-built sample.
     let sample_first = SampleFirst::with_rows(Arc::clone(&table), 1_000, 9);

@@ -1,0 +1,101 @@
+//! End-to-end observability tour: build a sampling cube with tracing
+//! enabled, run a 1 000-query dashboard workload against it, and dump the
+//! resulting metrics snapshot as JSON and Prometheus text.
+//!
+//! ```bash
+//! cargo run --release --example metrics_dashboard
+//! ```
+//!
+//! Everything below uses a *private* [`tabula::obs::Registry`] so the
+//! numbers printed are exactly this run's — the same instrumentation
+//! reports into the process-global registry by default (see
+//! `tabula::obs::global()`), which is what the REPL's `\metrics` command
+//! prints.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tabula::core::loss::MeanLoss;
+use tabula::core::SamplingCubeBuilder;
+use tabula::data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula::obs;
+
+const ROWS: usize = 20_000;
+const QUERIES: usize = 1_000;
+
+fn main() {
+    // 1. Capture spans: the collector sees every stage of the build
+    //    (build.total → build.dry_run / build.real_run / build.selection,
+    //    plus per-cuboid spans beneath them).
+    let collector = Arc::new(obs::MemoryCollector::new());
+    obs::set_subscriber(Arc::clone(&collector) as Arc<dyn obs::Subscriber>);
+
+    // 2. Metrics: a private registry isolates this run's numbers.
+    let registry = Arc::new(obs::Registry::new());
+
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: ROWS, seed: 42 }).generate());
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..4].to_vec();
+
+    let cube = SamplingCubeBuilder::new(Arc::clone(&table), &attrs, MeanLoss::new(fare), 0.05)
+        .seed(42)
+        .registry(Arc::clone(&registry))
+        .build()
+        .expect("cube build succeeds");
+
+    // 3. A dashboard workload: 1 000 cell lookups, latency into a
+    //    histogram, provenance tallied by the cube itself.
+    let queries = Workload::new(&attrs)
+        .generate(&table, QUERIES, 0xBEEF)
+        .expect("workload generation succeeds");
+    let latency = registry.histogram("query.latency");
+    for q in &queries {
+        let start = Instant::now();
+        let _answer = cube.query_cell(&q.cell);
+        latency.record_duration(start.elapsed());
+    }
+
+    obs::clear_subscriber();
+
+    // 4. The numbers. JSON snapshot first (what a dashboard would scrape) …
+    let snapshot = registry.snapshot();
+    println!("=== JSON metrics snapshot ===");
+    println!("{}", snapshot.to_json());
+
+    // … then the same registry in Prometheus text format …
+    println!("\n=== Prometheus exposition ===");
+    print!("{}", snapshot.to_prometheus());
+
+    // … and a human-readable digest.
+    let prov = cube.provenance_counters();
+    println!("\n=== digest ===");
+    println!("build stages (spans recorded by the collector):");
+    for record in collector.records() {
+        if record.name.starts_with("build.") {
+            println!(
+                "  {:indent$}{} {:?} {}",
+                "",
+                record.name,
+                record.duration,
+                record.detail,
+                indent = record.depth * 2
+            );
+        }
+    }
+    let lat = &snapshot.histograms["query.latency"];
+    println!("query latency over {} queries:", lat.count);
+    println!(
+        "  p50 = {}ns   p95 = {}ns   p99 = {}ns   max = {}ns",
+        lat.p50(),
+        lat.p95(),
+        lat.p99(),
+        lat.max_ns
+    );
+    println!(
+        "provenance: {} local hits + {} global fallbacks + {} misses = {}",
+        prov.local_hits(),
+        prov.global_hits(),
+        prov.cell_misses(),
+        prov.total()
+    );
+    assert_eq!(prov.total(), QUERIES as u64, "every query is tallied exactly once");
+}

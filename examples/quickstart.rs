@@ -15,9 +15,8 @@ use tabula::viz::timed;
 fn main() {
     // 1. A synthetic slice of the NYC taxi table (the paper uses 700 M
     //    rows on a Spark cluster; 200 k is plenty to see the mechanics).
-    let (table, gen_time) = timed(|| {
-        Arc::new(TaxiGenerator::new(TaxiConfig { rows: 50_000, seed: 42 }).generate())
-    });
+    let (table, gen_time) =
+        timed(|| Arc::new(TaxiGenerator::new(TaxiConfig { rows: 50_000, seed: 42 }).generate()));
     println!("generated {} taxi rides in {gen_time:.2?}", table.len());
 
     // 2. Build the sampling cube over the paper's default 5 attributes,
@@ -35,12 +34,18 @@ fn main() {
     });
     let stats = cube.stats();
     println!("cube initialized in {build_time:.2?}");
-    println!("  dry run        {:>10.2?} ({} cells, {} icebergs)",
-        stats.dry_run, stats.total_cells, stats.iceberg_cells);
-    println!("  real run       {:>10.2?} ({} cuboids skipped)",
-        stats.real_run, stats.cuboids_skipped);
-    println!("  selection      {:>10.2?} ({} -> {} samples)",
-        stats.selection, stats.samples_before_selection, stats.samples_after_selection);
+    println!(
+        "  dry run        {:>10.2?} ({} cells, {} icebergs)",
+        stats.dry_run, stats.total_cells, stats.iceberg_cells
+    );
+    println!(
+        "  real run       {:>10.2?} ({} cuboids skipped)",
+        stats.real_run, stats.cuboids_skipped
+    );
+    println!(
+        "  selection      {:>10.2?} ({} -> {} samples)",
+        stats.selection, stats.samples_before_selection, stats.samples_after_selection
+    );
     let mem = cube.memory_breakdown();
     println!(
         "  memory: global {} KB + cube table {} KB + samples {} KB = {} KB",

@@ -21,8 +21,7 @@ fn xy(table: &Table, rows: &[RowId]) -> Vec<(f64, f64)> {
 }
 
 fn main() {
-    let table =
-        Arc::new(TaxiGenerator::new(TaxiConfig { rows: 80_000, seed: 3 }).generate());
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 80_000, seed: 3 }).generate());
     let fare = table.schema().index_of("fare_amount").unwrap();
     let tip = table.schema().index_of("tip_amount").unwrap();
     let theta_degrees = 2.0;

@@ -50,11 +50,7 @@ fn main() {
                 );
             }
             Ok(QueryResult::Sample { table, provenance }) => {
-                let fares = table
-                    .column_by_name("fare_amount")
-                    .unwrap()
-                    .as_f64_slice()
-                    .unwrap();
+                let fares = table.column_by_name("fare_amount").unwrap().as_f64_slice().unwrap();
                 let mean = fares.iter().sum::<f64>() / fares.len().max(1) as f64;
                 println!(
                     "  {} sample tuples ({provenance:?}); AVG(fare) on sample = ${mean:.2}\n",

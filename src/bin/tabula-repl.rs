@@ -9,6 +9,13 @@
 //!
 //! The table registers as `nyctaxi`. Statements end at end-of-line;
 //! `\q` quits. Also works non-interactively: `echo "SHOW TABLES" | tabula-repl`.
+//!
+//! Shell commands beyond SQL:
+//!
+//! * `\metrics` — dump the session's metrics registry as JSON
+//!   (`\metrics prom` for Prometheus text format);
+//! * `\timing` — toggle printing each statement's wall time;
+//! * `\q` — quit.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -58,6 +65,7 @@ fn main() {
 
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
+    let mut timing = false;
     loop {
         if interactive {
             print!("tabula> ");
@@ -82,15 +90,33 @@ fn main() {
         if !interactive {
             println!("tabula> {line}");
         }
+        if line == "\\metrics" || line == "\\metrics prom" {
+            let snap = session.metrics_snapshot();
+            if line.ends_with("prom") {
+                print!("{}", snap.to_prometheus());
+            } else {
+                println!("{}", snap.to_json());
+            }
+            continue;
+        }
+        if line == "\\timing" {
+            timing = !timing;
+            println!("timing is {}", if timing { "on" } else { "off" });
+            continue;
+        }
+        if line.starts_with('\\') {
+            println!(
+                "unknown command {line} — available: \\metrics, \\metrics prom, \\timing, \\q"
+            );
+            continue;
+        }
+        let started = std::time::Instant::now();
         match session.execute(line) {
             Ok(QueryResult::AggregateCreated(name)) => println!("loss function {name} registered"),
             Ok(QueryResult::Dropped(name)) => println!("{name} dropped"),
             Ok(QueryResult::CubeCreated { name, stats }) => println!(
                 "cube {name}: {} cells ({} iceberg), {} samples persisted, built in {:.2?}",
-                stats.total_cells,
-                stats.iceberg_cells,
-                stats.samples_after_selection,
-                stats.total
+                stats.total_cells, stats.iceberg_cells, stats.samples_after_selection, stats.total
             ),
             Ok(QueryResult::Info(lines)) => {
                 for l in lines {
@@ -107,13 +133,15 @@ fn main() {
             }
             Err(e) => println!("error: {e}"),
         }
+        if timing {
+            println!("time: {:.2?}", started.elapsed());
+        }
     }
 }
 
 /// Print the first `limit` rows of a result.
 fn print_rows(table: &tabula::storage::Table, limit: usize) {
-    let names: Vec<&str> =
-        table.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    let names: Vec<&str> = table.schema().fields().iter().map(|f| f.name.as_str()).collect();
     println!("  [{}]", names.join(" | "));
     for row in 0..table.len().min(limit) {
         let cells: Vec<String> =

@@ -8,11 +8,13 @@
 //! * [`core`] — the paper's contribution: the materialized sampling cube,
 //! * [`sql`] — the SQL dialect front-end,
 //! * [`viz`] — visualization substrate (heat maps, histograms, regression),
-//! * [`baselines`] — the eight compared approaches of the paper's Section V.
+//! * [`baselines`] — the eight compared approaches of the paper's Section V,
+//! * [`obs`] — zero-dependency tracing, metrics and provenance counters.
 
 pub use tabula_baselines as baselines;
 pub use tabula_core as core;
 pub use tabula_data as data;
+pub use tabula_obs as obs;
 pub use tabula_sql as sql;
 pub use tabula_storage as storage;
 pub use tabula_viz as viz;

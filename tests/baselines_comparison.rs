@@ -109,19 +109,8 @@ fn snappy_fallback_rate_drops_with_looser_bounds() {
     let workload = Workload::new(attrs);
     let queries = workload.generate(&t, 40, 5).unwrap();
     let fallbacks = |bound: f64| -> usize {
-        let snappy = SnappyLike::build(
-            Arc::clone(&t),
-            attrs,
-            "fare_amount",
-            40,
-            bound,
-            6,
-        )
-        .unwrap();
-        queries
-            .iter()
-            .filter(|q| snappy.query_avg(&q.predicate).fell_back_to_raw)
-            .count()
+        let snappy = SnappyLike::build(Arc::clone(&t), attrs, "fare_amount", 40, bound, 6).unwrap();
+        queries.iter().filter(|q| snappy.query_avg(&q.predicate).fell_back_to_raw).count()
     };
     let tight = fallbacks(0.005);
     let loose = fallbacks(0.20);

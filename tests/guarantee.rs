@@ -46,14 +46,10 @@ fn verify_guarantee<L: AccuracyLoss + Clone>(
     // Exercise the local-sample path explicitly: query every materialized
     // iceberg cell directly and re-verify the bound there too.
     assert!(cube.materialized_cells() > 0, "{}: θ produced no icebergs", loss.name());
-    let cols: Vec<usize> =
-        attrs.iter().map(|a| table.schema().index_of(a).unwrap()).collect();
+    let cols: Vec<usize> = attrs.iter().map(|a| table.schema().index_of(a).unwrap()).collect();
     for (cell, _) in cube.cube_table().take(40) {
         let answer = cube.query_cell(cell);
-        assert!(matches!(
-            answer.provenance,
-            tabula::core::SampleProvenance::Local(_)
-        ));
+        assert!(matches!(answer.provenance, tabula::core::SampleProvenance::Local(_)));
         let cats: Vec<_> = cols.iter().map(|&c| table.cat(c).unwrap()).collect();
         let raw: Vec<u32> = (0..table.len() as u32)
             .filter(|&r| {
@@ -76,7 +72,13 @@ fn verify_guarantee<L: AccuracyLoss + Clone>(
 fn mean_loss_guarantee_over_random_workload() {
     let t = taxi(15_000, 1);
     let fare = t.schema().index_of("fare_amount").unwrap();
-    verify_guarantee(&t, &CUBED_ATTRIBUTES[..5], MeanLoss::new(fare), 0.05, MaterializationMode::Tabula);
+    verify_guarantee(
+        &t,
+        &CUBED_ATTRIBUTES[..5],
+        MeanLoss::new(fare),
+        0.05,
+        MaterializationMode::Tabula,
+    );
 }
 
 #[test]
@@ -137,16 +139,11 @@ fn tabula_and_tabula_star_answer_identically_sized_cell_sets() {
     let t = taxi(10_000, 6);
     let fare = t.schema().index_of("fare_amount").unwrap();
     let build = |mode| {
-        SamplingCubeBuilder::new(
-            Arc::clone(&t),
-            &CUBED_ATTRIBUTES[..4],
-            MeanLoss::new(fare),
-            0.05,
-        )
-        .mode(mode)
-        .seed(9)
-        .build()
-        .unwrap()
+        SamplingCubeBuilder::new(Arc::clone(&t), &CUBED_ATTRIBUTES[..4], MeanLoss::new(fare), 0.05)
+            .mode(mode)
+            .seed(9)
+            .build()
+            .unwrap()
     };
     let tabula = build(MaterializationMode::Tabula);
     let star = build(MaterializationMode::TabulaStar);
@@ -154,8 +151,7 @@ fn tabula_and_tabula_star_answer_identically_sized_cell_sets() {
     // Selection strictly reduces persisted samples on this data.
     assert!(tabula.persisted_samples() < star.persisted_samples());
     assert!(
-        tabula.memory_breakdown().sample_table_bytes
-            < star.memory_breakdown().sample_table_bytes
+        tabula.memory_breakdown().sample_table_bytes < star.memory_breakdown().sample_table_bytes
     );
 }
 
@@ -164,23 +160,15 @@ fn tighter_thresholds_produce_more_icebergs_and_more_memory() {
     let t = taxi(12_000, 7);
     let fare = t.schema().index_of("fare_amount").unwrap();
     let build = |theta: f64| {
-        SamplingCubeBuilder::new(
-            Arc::clone(&t),
-            &CUBED_ATTRIBUTES[..4],
-            MeanLoss::new(fare),
-            theta,
-        )
-        .seed(9)
-        .build()
-        .unwrap()
+        SamplingCubeBuilder::new(Arc::clone(&t), &CUBED_ATTRIBUTES[..4], MeanLoss::new(fare), theta)
+            .seed(9)
+            .build()
+            .unwrap()
     };
     let loose = build(0.10);
     let tight = build(0.02);
     assert!(tight.stats().iceberg_cells > loose.stats().iceberg_cells);
     assert!(tight.memory_breakdown().total() > loose.memory_breakdown().total());
     // Global sample size is θ-independent (Serfling depends only on ε/δ).
-    assert_eq!(
-        tight.stats().global_sample_size,
-        loose.stats().global_sample_size
-    );
+    assert_eq!(tight.stats().global_sample_size, loose.stats().global_sample_size);
 }

@@ -14,15 +14,11 @@ fn cube_round_trips_through_json_and_keeps_the_guarantee() {
     let fare = table.schema().index_of("fare_amount").unwrap();
     let loss = MeanLoss::new(fare);
     let theta = 0.05;
-    let cube = SamplingCubeBuilder::new(
-        Arc::clone(&table),
-        &CUBED_ATTRIBUTES[..4],
-        loss.clone(),
-        theta,
-    )
-    .seed(8)
-    .build()
-    .unwrap();
+    let cube =
+        SamplingCubeBuilder::new(Arc::clone(&table), &CUBED_ATTRIBUTES[..4], loss.clone(), theta)
+            .seed(8)
+            .build()
+            .unwrap();
 
     let json = serde_json::to_string(&cube.to_persist()).unwrap();
     let persist: CubePersist = serde_json::from_str(&json).unwrap();
@@ -31,10 +27,7 @@ fn cube_round_trips_through_json_and_keeps_the_guarantee() {
     assert_eq!(restored.materialized_cells(), cube.materialized_cells());
     assert_eq!(restored.persisted_samples(), cube.persisted_samples());
     assert_eq!(restored.theta(), cube.theta());
-    assert_eq!(
-        restored.memory_breakdown().total(),
-        cube.memory_breakdown().total()
-    );
+    assert_eq!(restored.memory_breakdown().total(), cube.memory_breakdown().total());
 
     // Replay a workload: answers identical, guarantee intact.
     let workload = Workload::new(&CUBED_ATTRIBUTES[..4]);
@@ -67,13 +60,10 @@ fn table_snapshot_plus_cube_is_fully_self_contained() {
     drop(cube);
     drop(table);
 
-    let table2: Arc<tabula::storage::Table> =
-        Arc::new(serde_json::from_str(&table_json).unwrap());
+    let table2: Arc<tabula::storage::Table> = Arc::new(serde_json::from_str(&table_json).unwrap());
     let persist: CubePersist = serde_json::from_str(&cube_json).unwrap();
     let cube2 = SamplingCube::from_persist(persist, Arc::clone(&table2)).unwrap();
-    let answer = cube2
-        .query(&tabula::storage::Predicate::eq("pickup_weekday", "Fri"))
-        .unwrap();
+    let answer = cube2.query(&tabula::storage::Predicate::eq("pickup_weekday", "Fri")).unwrap();
     assert!(!answer.is_empty());
     // Materialization works against the reloaded table.
     let sample = answer.materialize(&table2);

@@ -20,8 +20,7 @@ fn arb_table() -> impl Strategy<Value = Table> {
         ]);
         let mut b = TableBuilder::new(schema);
         for (a, bb, v) in rows {
-            b.push_row(&[(a as i64).into(), (bb as i64).into(), v.into()])
-                .expect("conforming row");
+            b.push_row(&[(a as i64).into(), (bb as i64).into(), v.into()]).expect("conforming row");
         }
         b.finish()
     })

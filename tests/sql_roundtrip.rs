@@ -41,9 +41,8 @@ fn full_paper_flow_with_builtin_loss() {
         ("rate_code = 'jfk'", Predicate::eq("rate_code", "jfk")),
         ("passenger_count = 2", Predicate::eq("passenger_count", 2i64)),
     ] {
-        let QueryResult::Sample { table: sample, .. } = s
-            .execute(&format!("SELECT sample FROM cube WHERE {pred_sql}"))
-            .unwrap()
+        let QueryResult::Sample { table: sample, .. } =
+            s.execute(&format!("SELECT sample FROM cube WHERE {pred_sql}")).unwrap()
         else {
             panic!()
         };

@@ -1,0 +1,467 @@
+//! Dependency-free `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde shim. No `syn`/`quote` (crates.io is unreachable in this build
+//! environment); the item is parsed directly from the `proc_macro` token
+//! stream and the impls are emitted as source strings.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields (including `#[serde(skip)]` fields, which
+//!   are omitted on serialize and `Default`-filled on deserialize);
+//! * tuple structs (single-field ones serialize transparently as the inner
+//!   value, wider ones as arrays);
+//! * enums with unit, tuple and struct variants, externally tagged
+//!   (`"Variant"` / `{"Variant": ...}`) like real serde's default.
+//!
+//! Generics, lifetimes and other `#[serde(...)]` attributes are rejected
+//! with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String, // identifier for named fields, index for tuple fields
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes, visibility, and doc comments until the
+    // `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: no struct/enum found"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type {name})");
+        }
+    }
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        };
+        Item::Enum { name, variants: parse_variants(body) }
+    }
+}
+
+/// Split a token stream on commas that sit outside `<...>` nesting.
+/// (Generic argument lists are punct sequences, not groups, so plain
+/// comma-splitting would cut `Map<String, u32>` in half.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Whether an attribute's tokens (`#` already consumed, `part[j]` is the
+/// bracket group) mark a `#[serde(skip)]` field; rejects any other
+/// `#[serde(...)]` content.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => match inner.get(1) {
+            Some(TokenTree::Group(args)) => {
+                let txt = args.stream().to_string();
+                if txt.trim() == "skip" {
+                    true
+                } else {
+                    panic!(
+                        "serde shim derive: unsupported attribute #[serde({txt})] — \
+                         only #[serde(skip)] is implemented"
+                    );
+                }
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut out = Vec::new();
+    for part in split_top_level(stream) {
+        let mut skip = false;
+        let mut j = 0;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = part.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = part.get(j + 1) {
+                if attr_is_serde_skip(g) {
+                    skip = true;
+                }
+            }
+            j += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = part.get(j) {
+            if id.to_string() == "pub" {
+                j += 1;
+                if let Some(TokenTree::Group(g)) = part.get(j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let name = match part.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue, // trailing comma artifacts
+        };
+        out.push(Field { name, skip });
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    for part in split_top_level(stream) {
+        let mut j = 0;
+        while let Some(TokenTree::Punct(p)) = part.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            j += 2; // attribute
+        }
+        let name = match part.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        j += 1;
+        let fields = match part.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+// -------------------------------------------------------------- serialize
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Named(fs) => ser_named_fields(fs, "self.", ""),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(\"{vname}\".to_owned()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => {{\n\
+                                     let mut m = ::std::collections::BTreeMap::new();\n\
+                                     m.insert(\"{vname}\".to_owned(), {payload});\n\
+                                     ::serde::Value::Obj(m)\n\
+                                 }}",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                            let payload = ser_named_fields(fs, "", "");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     let payload = {payload};\n\
+                                     let mut m = ::std::collections::BTreeMap::new();\n\
+                                     m.insert(\"{vname}\".to_owned(), payload);\n\
+                                     ::serde::Value::Obj(m)\n\
+                                 }}",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `{"f1": ..., "f2": ...}` construction. `prefix` is `self.` for struct
+/// impls and empty for enum-variant bindings (where fields are bound by
+/// name). Skipped fields are not emitted.
+fn ser_named_fields(fields: &[Field], prefix: &str, deref: &str) -> String {
+    let mut s = String::from("{ let mut m = ::std::collections::BTreeMap::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let fname = &f.name;
+        s.push_str(&format!(
+            "m.insert(\"{fname}\".to_owned(), \
+             ::serde::Serialize::to_value({deref}&{prefix}{fname}));\n"
+        ));
+    }
+    s.push_str("::serde::Value::Obj(m) }");
+    s
+}
+
+// ------------------------------------------------------------ deserialize
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Named(fs) => de_named_fields(name, name, fs),
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Arr(items) if items.len() == {n} => \
+                                 Ok({name}({items})),\n\
+                             other => Err(::serde::DeError::expected(\
+                                 \"{n}-element array\", other, \"{name}\")),\n\
+                         }}",
+                        items = items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms
+                            .push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"));
+                        // A unit variant may also round-trip through the
+                        // tagged-object form if hand-written JSON uses it.
+                        payload_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match payload {{\n\
+                                 ::serde::Value::Arr(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}({items})),\n\
+                                 other => Err(::serde::DeError::expected(\
+                                     \"{n}-element array\", other, \"{name}::{vname}\")),\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = de_named_fields_from(&format!("{name}::{vname}"), "payload", fs);
+                        payload_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }},\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{\n{unit_arms}\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         let m = v.as_obj().ok_or_else(|| ::serde::DeError::expected(\
+                             \"variant tag\", v, \"{name}\"))?;\n\
+                         let (tag, payload) = m.iter().next().ok_or_else(|| \
+                             ::serde::DeError(\"empty variant object for {name}\"\
+                             .to_owned()))?;\n\
+                         match tag.as_str() {{\n{payload_arms}\
+                             other => Err(::serde::DeError(format!(\
+                                 \"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Construct `ctor { f1: ..., skip: Default::default() }` from the object
+/// in `v`.
+fn de_named_fields(type_name: &str, ctor: &str, fields: &[Field]) -> String {
+    format!(
+        "{{ let m = v.as_obj().ok_or_else(|| ::serde::DeError::expected(\
+             \"object\", v, \"{type_name}\"))?;\n{}\n}}",
+        de_named_fields_body(ctor, fields)
+    )
+}
+
+fn de_named_fields_from(ctor: &str, source: &str, fields: &[Field]) -> String {
+    format!(
+        "{{ let m = {source}.as_obj().ok_or_else(|| ::serde::DeError::expected(\
+             \"object\", {source}, \"{ctor}\"))?;\n{}\n}}",
+        de_named_fields_body(ctor, fields)
+    )
+}
+
+fn de_named_fields_body(ctor: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.skip {
+                format!("{fname}: ::std::default::Default::default(),")
+            } else {
+                format!(
+                    "{fname}: ::serde::Deserialize::from_value(\
+                         m.get(\"{fname}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.in_field(\"{fname}\"))?,"
+                )
+            }
+        })
+        .collect();
+    format!("Ok({ctor} {{\n{}\n}})", inits.join("\n"))
+}
