@@ -9,6 +9,11 @@
 //! summary both come from that registry's snapshot rather than ad-hoc
 //! `Instant` bookkeeping.
 //!
+//! Each configuration builds twice: once pinned to one worker thread (the
+//! `TABULA_THREADS=1` configuration) and once at the session's configured
+//! thread count, so every row carries per-stage `speedup_vs_serial`
+//! figures alongside the parallel wall times.
+//!
 //! ```bash
 //! cargo run --release -p tabula-bench --bin fig08_init_time -- heatmap
 //! cargo run --release -p tabula-bench --bin fig08_init_time -- mean
@@ -40,10 +45,11 @@ impl Report {
         Report { aggregate: obs::Registry::new(), results: Vec::new() }
     }
 
-    /// Build one cube against a private metrics registry, print the stage
-    /// row derived from its snapshot, fold the stage latencies into the
-    /// aggregate, and append a JSON row.
-    fn build_and_report<L: AccuracyLoss>(
+    /// Build one cube twice — serial baseline, then the configured thread
+    /// count — against private metrics registries; print the stage row
+    /// (parallel walls + total speedup), fold the stage latencies into the
+    /// aggregate, and append a JSON row with per-stage speedups.
+    fn build_and_report<L: AccuracyLoss + Clone>(
         &mut self,
         table: &Arc<Table>,
         attrs: &[&str],
@@ -52,47 +58,64 @@ impl Report {
         figure: &str,
         theta_label: &str,
     ) {
-        let registry = Arc::new(obs::Registry::new());
-        let _cube = SamplingCubeBuilder::new(Arc::clone(table), attrs, loss, theta)
-            .seed(SEED)
-            .registry(Arc::clone(&registry))
-            .build()
-            .expect("build succeeds");
-        let snap = registry.snapshot();
-        let stage_ns = |name: &str| snap.histograms.get(name).map_or(0, |h| h.sum_ns);
+        let build_once = |n_threads: usize| {
+            tabula_par::set_threads(n_threads);
+            let registry = Arc::new(obs::Registry::new());
+            let _cube = SamplingCubeBuilder::new(Arc::clone(table), attrs, loss.clone(), theta)
+                .seed(SEED)
+                .registry(Arc::clone(&registry))
+                .build()
+                .expect("build succeeds");
+            registry.snapshot()
+        };
+        let serial_snap = build_once(1);
+        // 0 clears the runtime override: the TABULA_THREADS env knob (or
+        // the core count) decides the parallel configuration.
+        let threads = {
+            tabula_par::set_threads(0);
+            tabula_par::threads()
+        };
+        let snap = build_once(0);
+        let stage_ns =
+            |s: &obs::MetricsSnapshot, name: &str| s.histograms.get(name).map_or(0, |h| h.sum_ns);
         let gauge = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
-        let (dry, real, sel, total) = (
-            stage_ns("build.dry_run"),
-            stage_ns("build.real_run"),
-            stage_ns("build.selection"),
-            stage_ns("build.total"),
-        );
+        const STAGES: [&str; 4] = ["dry_run", "real_run", "selection", "total"];
+        let walls: Vec<(u64, u64)> = STAGES
+            .iter()
+            .map(|stage| {
+                let key = format!("build.{stage}");
+                (stage_ns(&serial_snap, &key), stage_ns(&snap, &key))
+            })
+            .collect();
+        let speedup = |(s, p): (u64, u64)| if p == 0 { 1.0 } else { s as f64 / p as f64 };
+        let (dry, real, sel, total) = (walls[0].1, walls[1].1, walls[2].1, walls[3].1);
         println!(
-            "{theta_label:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+            "{theta_label:>12} {:>10} {:>10} {:>10} {:>10} {:>8.2}x {:>9} {:>9} {:>8}",
             fmt_duration(Duration::from_nanos(dry)),
             fmt_duration(Duration::from_nanos(real)),
             fmt_duration(Duration::from_nanos(sel)),
             fmt_duration(Duration::from_nanos(total)),
+            speedup(walls[3]),
             gauge("cube.total_cells"),
             gauge("cube.iceberg_cells"),
             gauge("cube.samples_after_selection"),
         );
-        for (stage, ns) in [
-            ("build.dry_run", dry),
-            ("build.real_run", real),
-            ("build.selection", sel),
-            ("build.total", total),
-        ] {
-            self.aggregate.histogram(stage).record(ns);
+        for (stage, &(serial_ns, wall_ns)) in STAGES.iter().zip(&walls) {
+            self.aggregate.histogram(&format!("build.{stage}")).record(wall_ns);
+            self.aggregate.histogram(&format!("build.{stage}.serial")).record(serial_ns);
         }
         let mut row = BTreeMap::new();
         row.insert("figure".to_owned(), Value::Str(figure.to_owned()));
         row.insert("theta".to_owned(), Value::Str(theta_label.to_owned()));
         row.insert("attrs".to_owned(), Value::Int(attrs.len() as i128));
-        row.insert("dry_run_ns".to_owned(), Value::Int(dry as i128));
-        row.insert("real_run_ns".to_owned(), Value::Int(real as i128));
-        row.insert("selection_ns".to_owned(), Value::Int(sel as i128));
-        row.insert("total_ns".to_owned(), Value::Int(total as i128));
+        row.insert("threads".to_owned(), Value::Int(threads as i128));
+        let mut speedups = BTreeMap::new();
+        for (stage, &w) in STAGES.iter().zip(&walls) {
+            row.insert(format!("{stage}_ns"), Value::Int(w.1 as i128));
+            row.insert(format!("serial_{stage}_ns"), Value::Int(w.0 as i128));
+            speedups.insert((*stage).to_owned(), Value::Float(speedup(w)));
+        }
+        row.insert("speedup_vs_serial".to_owned(), Value::Obj(speedups));
         row.insert("cells".to_owned(), Value::Int(gauge("cube.total_cells") as i128));
         row.insert("icebergs".to_owned(), Value::Int(gauge("cube.iceberg_cells") as i128));
         row.insert("samples".to_owned(), Value::Int(gauge("cube.samples_after_selection") as i128));
@@ -103,8 +126,8 @@ impl Report {
 fn header(title: &str) {
     println!("\n=== {title} ===");
     println!(
-        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8}",
-        "theta", "dry run", "real run", "SamS", "total", "cells", "icebergs", "samples"
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "theta", "dry run", "real run", "SamS", "total", "speedup", "cells", "icebergs", "samples"
     );
 }
 
@@ -113,7 +136,10 @@ fn main() {
     let rows = default_rows();
     let table = taxi_table(rows);
     let attrs5: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
-    println!("# Figure 8 | rows = {rows} | attributes = 5 (a–c) / 4–7 (d)");
+    println!(
+        "# Figure 8 | rows = {rows} | attributes = 5 (a–c) / 4–7 (d) | threads = {} (serial baseline: 1)",
+        tabula_par::threads()
+    );
 
     let pickup = table.schema().index_of("pickup").unwrap();
     let fare = table.schema().index_of("fare_amount").unwrap();

@@ -250,6 +250,7 @@ pub fn write_run_summary(
     let mut root = std::collections::BTreeMap::new();
     root.insert("bench".to_owned(), Value::Str(name.to_owned()));
     root.insert("rows".to_owned(), Value::Int(default_rows() as i128));
+    root.insert("threads".to_owned(), Value::Int(tabula_par::threads() as i128));
     for (k, v) in extra {
         root.insert((*k).to_owned(), v.clone());
     }

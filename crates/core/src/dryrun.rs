@@ -98,23 +98,32 @@ pub fn dry_run<L: AccuracyLoss>(
     let states = rollup_from_finest(cols.len(), finest, &L::State::default);
     drop(rollup_span);
 
+    // Per-cuboid loss-predicate evaluation is embarrassingly parallel:
+    // one task per cuboid, assembled in deterministic (finest-first) mask
+    // order afterwards.
     let _classify_span = span!("dry_run.classify");
-    let mut iceberg: FxHashMap<CuboidMask, Vec<Vec<u32>>> = FxHashMap::default();
-    let mut total_cells = 0usize;
-    let mut iceberg_count = 0usize;
-    for (mask, groups) in &states.cuboids {
-        let _cuboid_span = span!("dry_run.cuboid", "mask={mask:?} cells={}", groups.len());
-        total_cells += groups.len();
+    let mut masks: Vec<CuboidMask> = states.cuboids.keys().copied().collect();
+    masks.sort_by_key(|m| (std::cmp::Reverse(m.arity()), *m));
+    let pool = tabula_par::Pool::global();
+    let classified: Vec<(usize, Vec<Vec<u32>>)> = pool.par_map(&masks, |mask| {
+        let groups = &states.cuboids[mask];
         let mut cells: Vec<Vec<u32>> = groups
             .iter()
             .filter(|(_, state)| loss.finish(global_ctx, state) > theta)
             .map(|(key, _)| key.clone())
             .collect();
+        // Deterministic ordering for reproducible builds.
+        cells.sort_unstable();
+        (groups.len(), cells)
+    });
+    let mut iceberg: FxHashMap<CuboidMask, Vec<Vec<u32>>> = FxHashMap::default();
+    let mut total_cells = 0usize;
+    let mut iceberg_count = 0usize;
+    for (mask, (cuboid_cells, cells)) in masks.into_iter().zip(classified) {
+        total_cells += cuboid_cells;
         if !cells.is_empty() {
-            // Deterministic ordering for reproducible builds.
-            cells.sort_unstable();
             iceberg_count += cells.len();
-            iceberg.insert(*mask, cells);
+            iceberg.insert(mask, cells);
         }
     }
     Ok(DryRun { states, iceberg, total_cells, iceberg_count })

@@ -115,19 +115,17 @@ pub fn refresh<L: AccuracyLoss>(
     drop(dry_span);
 
     // 2. Which cells did the appended rows touch? (Every ancestor cell of
-    //    every appended row, across all 2ⁿ cuboids.)
+    //    every appended row, across all 2ⁿ cuboids.) Group the appended
+    //    rows by their full attribute tuple first: the 2ⁿ projections (and
+    //    their key allocations) then happen once per distinct tuple, not
+    //    once per row.
     let mut touched: FxHashSet<CellKey> = FxHashSet::default();
-    {
-        let cats: Vec<_> =
-            cols.iter().map(|&c| new_table.cat(c)).collect::<std::result::Result<Vec<_>, _>>()?;
+    if !appended.is_empty() {
+        let grouped = tabula_storage::group::group_rows(&new_table, &cols, &appended)?;
         let masks = CuboidMask::enumerate(n);
-        let mut full = vec![0u32; n];
-        for &row in &appended {
-            for (slot, cat) in full.iter_mut().zip(&cats) {
-                *slot = cat.codes()[row as usize];
-            }
+        for full in grouped.groups.keys() {
             for &mask in &masks {
-                touched.insert(CellKey::project(mask, &full));
+                touched.insert(CellKey::project(mask, full));
             }
         }
     }

@@ -12,13 +12,16 @@
 //! * **group-everything** — a plain full-table group-by.
 //!
 //! Local samples are then drawn per cell with the accuracy-loss-aware
-//! greedy sampler, parallelized across cells (the per-cell work is
-//! embarrassingly parallel).
+//! greedy sampler, scheduled on the shared `tabula-par` work-stealing
+//! pool (the per-cell work is embarrassingly parallel, and each cell's
+//! greedy draw is deterministic given its rows — so samples are
+//! thread-count-independent).
 
 use crate::dryrun::DryRun;
 use crate::loss::AccuracyLoss;
 use crate::Result;
 use tabula_obs::span;
+use tabula_par::Pool;
 use tabula_storage::cube::{CellKey, CuboidMask};
 use tabula_storage::group::group_rows;
 use tabula_storage::join::semi_join as semi_join_rows;
@@ -140,88 +143,32 @@ pub fn real_run<L: AccuracyLoss>(
         }
     }
 
-    // Phase 2 (parallel): draw a local sample per iceberg cell.
-    let threads = if parallelism == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        parallelism
-    };
-    let sample_span = span!("real_run.sample_cells", "cells={} threads={threads}", work.len());
-    let entries = sample_cells(table, loss, theta, work, threads);
+    // Phase 2 (parallel): draw a local sample per iceberg cell on the
+    // shared work-stealing pool.
+    let pool = if parallelism == 0 { Pool::global() } else { Pool::with_threads(parallelism) };
+    let sample_span =
+        span!("real_run.sample_cells", "cells={} threads={}", work.len(), pool.threads());
+    let entries = sample_cells(table, loss, theta, work, &pool);
     drop(sample_span);
     Ok(RealRun { entries, stats })
 }
 
-/// Draw local samples for `work` across `threads` workers, preserving
-/// input order in the output.
+/// Draw local samples for `work` on `pool`, preserving input order in the
+/// output. Each cell's greedy draw sees exactly its own rows, so the
+/// result is independent of scheduling.
 fn sample_cells<L: AccuracyLoss>(
     table: &Table,
     loss: &L,
     theta: f64,
     work: Vec<(CellKey, Vec<RowId>)>,
-    threads: usize,
+    pool: &Pool,
 ) -> Vec<CubeEntry> {
-    if work.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(work.len());
-    if threads == 1 {
-        return work
-            .into_iter()
-            .map(|(cell, rows)| {
-                let sample = loss.sample_greedy(table, &rows, theta);
-                CubeEntry { cell, rows, sample }
-            })
-            .collect();
-    }
-    let mut out: Vec<Option<CubeEntry>> = Vec::new();
-    out.resize_with(work.len(), || None);
-    let out_slices = split_into_parts(&mut out, threads);
-    let work_parts = split_vec_into_parts(work, threads);
-    std::thread::scope(|scope| {
-        for (out_part, work_part) in out_slices.into_iter().zip(work_parts) {
-            scope.spawn(move || {
-                for (slot, (cell, rows)) in out_part.iter_mut().zip(work_part) {
-                    let sample = loss.sample_greedy(table, &rows, theta);
-                    *slot = Some(CubeEntry { cell, rows, sample });
-                }
-            });
-        }
-    });
-    out.into_iter().map(|e| e.expect("every slot filled")).collect()
-}
-
-/// Split a mutable slice into `parts` contiguous chunks of near-equal size.
-fn split_into_parts<T>(slice: &mut [T], parts: usize) -> Vec<&mut [T]> {
-    let len = slice.len();
-    let base = len / parts;
-    let extra = len % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut rest = slice;
-    for i in 0..parts {
-        let take = base + usize::from(i < extra);
-        let (head, tail) = rest.split_at_mut(take);
-        out.push(head);
-        rest = tail;
-    }
-    out
-}
-
-/// Split an owned vec into `parts` contiguous chunks matching
-/// [`split_into_parts`]'s sizing.
-fn split_vec_into_parts<T>(v: Vec<T>, parts: usize) -> Vec<Vec<T>> {
-    let len = v.len();
-    let base = len / parts;
-    let extra = len % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut rest = v;
-    for i in 0..parts {
-        let take = base + usize::from(i < extra);
-        let tail = rest.split_off(take);
-        out.push(rest);
-        rest = tail;
-    }
-    out
+    let samples: Vec<Vec<RowId>> =
+        pool.run(work.len(), |i| loss.sample_greedy(table, &work[i].1, theta));
+    work.into_iter()
+        .zip(samples)
+        .map(|((cell, rows), sample)| CubeEntry { cell, rows, sample })
+        .collect()
 }
 
 #[cfg(test)]
@@ -321,16 +268,19 @@ mod tests {
     }
 
     #[test]
-    fn split_helpers_cover_everything_in_order() {
-        let mut data: Vec<u32> = (0..10).collect();
-        let parts = split_into_parts(&mut data, 3);
-        assert_eq!(parts.len(), 3);
-        assert_eq!(parts[0], &[0, 1, 2, 3]);
-        assert_eq!(parts[1], &[4, 5, 6]);
-        assert_eq!(parts[2], &[7, 8, 9]);
-        let owned = split_vec_into_parts((0..10u32).collect(), 3);
-        assert_eq!(owned[0], vec![0, 1, 2, 3]);
-        assert_eq!(owned[1], vec![4, 5, 6]);
-        assert_eq!(owned[2], vec![7, 8, 9]);
+    fn sample_cells_runs_on_the_shared_pool_in_order() {
+        let t = example_dcm_table();
+        let fare = t.schema().index_of("fare").unwrap();
+        let loss = MeanLoss::new(fare);
+        let work: Vec<(CellKey, Vec<RowId>)> =
+            (0..6).map(|i| (CellKey::new(vec![Some(i)]), t.all_rows())).collect();
+        let serial = sample_cells(&t, &loss, 0.1, work.clone(), &Pool::with_threads(1));
+        let parallel = sample_cells(&t, &loss, 0.1, work, &Pool::with_threads(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.sample, b.sample);
+        }
     }
 }

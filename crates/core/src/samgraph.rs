@@ -22,6 +22,7 @@
 use crate::loss::AccuracyLoss;
 use crate::realrun::CubeEntry;
 use tabula_obs::span;
+use tabula_par::Pool;
 use tabula_storage::Table;
 
 /// Tuning knobs of the SamGraph join.
@@ -73,43 +74,46 @@ pub fn build_samgraph<L: AccuracyLoss>(
     cfg: &SamGraphConfig,
 ) -> SamGraph {
     let m = entries.len();
-    let _span = span!("selection.samgraph_join", "samples={m}");
-    let mut edges: Vec<Vec<u32>> = (0..m).map(|u| vec![u as u32]).collect();
+    let pool = Pool::global();
+    let _span = span!("selection.samgraph_join", "samples={m} threads={}", pool.threads());
     if m <= 1 {
-        return SamGraph { edges };
+        return SamGraph { edges: (0..m).map(|u| vec![u as u32]).collect() };
     }
 
     if !loss.state_depends_on_sample() {
         // O(1)-per-pair path: fold each cell's state once, prepare each
         // sample's context once, evaluate finish() for every ordered pair.
+        // Each vertex's out-edge list is an independent task; lists come
+        // back in vertex order, so the graph is thread-count-invariant.
         let dummy_ctx = loss.prepare(table, &[]);
-        let states: Vec<L::State> = entries
-            .iter()
-            .map(|e| {
-                let mut s = L::State::default();
-                for &r in &e.rows {
-                    loss.fold(&dummy_ctx, &mut s, table, r);
-                }
-                s
-            })
-            .collect();
-        for (u, entry_u) in entries.iter().enumerate() {
-            let ctx_u = loss.prepare(table, &entry_u.sample);
+        let states: Vec<L::State> = pool.par_map(entries, |e| {
+            let mut s = L::State::default();
+            for &r in &e.rows {
+                loss.fold(&dummy_ctx, &mut s, table, r);
+            }
+            s
+        });
+        let edges = pool.run(m, |u| {
+            let ctx_u = loss.prepare(table, &entries[u].sample);
+            let mut out = vec![u as u32];
             for (v, state_v) in states.iter().enumerate() {
                 if u != v && loss.finish(&ctx_u, state_v) <= theta {
-                    edges[u].push(v as u32);
+                    out.push(v as u32);
                 }
             }
-        }
+            out
+        });
         return SamGraph { edges };
     }
 
     // Sample-dependent path: rank candidates by signature proximity, check
-    // the nearest `max_candidates` exactly (early-exit at θ).
-    let sigs: Vec<[f64; 2]> = entries.iter().map(|e| loss.signature(table, &e.rows)).collect();
-    let ctxs: Vec<L::SampleCtx> = entries.iter().map(|e| loss.prepare(table, &e.sample)).collect();
+    // the nearest `max_candidates` exactly (early-exit at θ). The per-target
+    // candidate scan parallelizes over v; representative lists are then
+    // folded back in ascending v, reproducing the serial edge order.
+    let sigs: Vec<[f64; 2]> = pool.par_map(entries, |e| loss.signature(table, &e.rows));
+    let ctxs: Vec<L::SampleCtx> = pool.par_map(entries, |e| loss.prepare(table, &e.sample));
     let cap = cfg.max_candidates.min(m - 1);
-    for v in 0..m {
+    let reps_of: Vec<Vec<u32>> = pool.run(m, |v| {
         let mut cands: Vec<(f64, usize)> = (0..m)
             .filter(|&u| u != v)
             .map(|u| {
@@ -122,10 +126,18 @@ pub fn build_samgraph<L: AccuracyLoss>(
             cands.select_nth_unstable_by(cap - 1, |a, b| a.0.total_cmp(&b.0));
             cands.truncate(cap);
         }
+        let mut reps = Vec::new();
         for (_, u) in cands {
             if loss.loss_within(table, &entries[v].rows, &ctxs[u], theta).is_some() {
-                edges[u].push(v as u32);
+                reps.push(u as u32);
             }
+        }
+        reps
+    });
+    let mut edges: Vec<Vec<u32>> = (0..m).map(|u| vec![u as u32]).collect();
+    for (v, reps) in reps_of.iter().enumerate() {
+        for &u in reps {
+            edges[u as usize].push(v as u32);
         }
     }
     SamGraph { edges }

@@ -1,0 +1,111 @@
+//! Integration test: the parallel execution layer must be invisible in
+//! the results. A `SamplingCube` built under `TABULA_THREADS` ∈ {1, 2, 8}
+//! is byte-identical — same cube table, same samples, same global sample,
+//! same build accounting — because morsel boundaries, merge order and
+//! per-cell sampling depend only on the input, never on scheduling.
+
+use std::sync::Arc;
+use tabula_core::cube::{SampleProvenance, SamplingCube};
+use tabula_core::loss::MeanLoss;
+use tabula_core::SamplingCubeBuilder;
+use tabula_data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula_storage::cube::CellKey;
+use tabula_storage::{RowId, Table};
+
+fn build(table: &Arc<Table>, threads: usize) -> SamplingCube {
+    // The runtime override steers every Pool::global() call in the build
+    // (finest scan, rollup, dry-run classify, group-by, semi-join,
+    // SamGraph); the builder's own knob covers the real-run pool.
+    tabula_par::set_threads(threads);
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let cube = SamplingCubeBuilder::new(
+        Arc::clone(table),
+        &CUBED_ATTRIBUTES[..4],
+        MeanLoss::new(fare),
+        0.05,
+    )
+    .seed(13)
+    .parallelism(threads)
+    .build()
+    .expect("cube build succeeds");
+    tabula_par::set_threads(0);
+    cube
+}
+
+/// Everything observable about a cube, in a canonical order.
+struct Fingerprint {
+    cells: Vec<(CellKey, Vec<RowId>)>,
+    global_sample: Vec<RowId>,
+    iceberg_cells: usize,
+    samples_after_selection: usize,
+}
+
+fn fingerprint(cube: &SamplingCube) -> Fingerprint {
+    let mut cells: Vec<(CellKey, Vec<RowId>)> =
+        cube.cube_table().map(|(k, id)| (k.clone(), cube.sample(id).as_ref().clone())).collect();
+    cells.sort_by(|a, b| a.0.codes.cmp(&b.0.codes));
+    Fingerprint {
+        cells,
+        global_sample: cube.global_sample().as_ref().clone(),
+        iceberg_cells: cube.stats().iceberg_cells,
+        samples_after_selection: cube.stats().samples_after_selection,
+    }
+}
+
+#[test]
+fn cube_is_identical_for_one_two_and_eight_threads() {
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 8_000, seed: 31 }).generate());
+    let baseline = fingerprint(&build(&table, 1));
+    assert!(!baseline.cells.is_empty(), "seeded build must materialize iceberg cells");
+    for threads in [2usize, 8] {
+        let got = fingerprint(&build(&table, threads));
+        assert_eq!(
+            baseline.iceberg_cells, got.iceberg_cells,
+            "iceberg cell count differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            baseline.samples_after_selection, got.samples_after_selection,
+            "sample count after selection differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            baseline.global_sample, got.global_sample,
+            "global sample differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            baseline.cells.len(),
+            got.cells.len(),
+            "cube table size differs between 1 and {threads} threads"
+        );
+        for ((cell_a, sample_a), (cell_b, sample_b)) in baseline.cells.iter().zip(&got.cells) {
+            assert_eq!(cell_a, cell_b, "cube-table keys differ at {threads} threads");
+            assert_eq!(sample_a, sample_b, "sample of {cell_a} differs at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn provenance_counters_are_thread_count_independent() {
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 6_000, seed: 23 }).generate());
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..4].to_vec();
+    let queries =
+        Workload::new(&attrs).generate(&table, 120, 0xACE).expect("workload generation succeeds");
+    let mut tallies: Vec<(u64, u64)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        // A private registry per cube keeps the provenance counters from
+        // accumulating across the three builds (they are registry-backed).
+        let registry = tabula_obs::Registry::new();
+        let cube = build(&table, threads).with_registry(&registry);
+        let (mut local, mut global) = (0u64, 0u64);
+        for q in &queries {
+            match cube.query_cell(&q.cell).provenance {
+                SampleProvenance::Local(_) => local += 1,
+                SampleProvenance::Global => global += 1,
+                SampleProvenance::EmptyDomain => unreachable!("query_cell never misses"),
+            }
+        }
+        assert_eq!(cube.provenance_counters().total(), queries.len() as u64);
+        tallies.push((local, global));
+    }
+    assert_eq!(tallies[0], tallies[1], "provenance split differs between 1 and 2 threads");
+    assert_eq!(tallies[0], tallies[2], "provenance split differs between 1 and 8 threads");
+}

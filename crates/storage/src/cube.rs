@@ -11,12 +11,20 @@
 //! finest cuboid (all attributes), and every coarser cuboid is derived by
 //! merging the states of an already-computed parent cuboid — the classic
 //! data-cube optimization the paper leans on for its dry-run stage.
+//!
+//! Both halves run on the morsel-driven pool (`tabula-par`): the scan is
+//! partition-parallel hash aggregation (per-morsel partial maps merged in
+//! ascending morsel order), and the rollup proceeds level-synchronously —
+//! all cuboids of one arity derive from their (already finished) parents
+//! in parallel. Results are byte-identical for any `TABULA_THREADS`.
 
 use crate::agg::AggState;
 use crate::fx::FxHashMap;
+use crate::packed::PackedCodes;
 use crate::table::{Cat, RowId, Table};
 use crate::Result;
 use serde::{Deserialize, Serialize};
+use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
 
 /// Identifies a cuboid: bit `i` set means cubed attribute `i` is on the
 /// grouping list. The all-bits mask is the finest cuboid; `0` is the `ALL`
@@ -234,34 +242,66 @@ impl<S> CubeResult<S> {
 /// Build the finest cuboid with a single scan.
 ///
 /// `make` creates an empty state; `fold` accounts one row into a state.
+///
+/// The scan is partition-parallel: morsels of [`DEFAULT_MORSEL_ROWS`] rows
+/// each build a partial hash table, merged in ascending morsel order — so
+/// per-cell fold/merge sequences (and therefore floating-point bits and
+/// hash-map insertion order) are independent of the thread count.
 pub fn finest_cuboid<S, M, F>(
     table: &Table,
     cols: &[usize],
     make: M,
-    mut fold: F,
+    fold: F,
 ) -> Result<FxHashMap<Vec<u32>, S>>
 where
-    M: Fn() -> S,
-    F: FnMut(&mut S, RowId),
+    S: AggState,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, RowId) + Sync,
 {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
-    let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
-    let mut key = vec![0u32; cols.len()];
-    for row in 0..table.len() {
-        for (k, codes) in key.iter_mut().zip(&code_slices) {
-            *k = codes[row];
+    let pool = Pool::global();
+    let partials = pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
+        let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
+        let mut packed = PackedCodes::new(cols.len());
+        packed.fill_range(&code_slices, range.clone());
+        for (i, row) in range.enumerate() {
+            let key = packed.key(i);
+            match groups.get_mut(key) {
+                Some(s) => fold(s, row as RowId),
+                None => {
+                    let mut s = make();
+                    fold(&mut s, row as RowId);
+                    groups.insert(key.to_vec(), s);
+                }
+            }
         }
-        match groups.get_mut(&key) {
-            Some(s) => fold(s, row as RowId),
-            None => {
-                let mut s = make();
-                fold(&mut s, row as RowId);
-                groups.insert(key.clone(), s);
+        groups
+    });
+    Ok(merge_partial_states(partials))
+}
+
+/// Merge per-morsel partial state maps in morsel order. Insertion order of
+/// the output (first occurrence across the ordered morsel sequence) and
+/// per-key merge order are both deterministic.
+fn merge_partial_states<S: AggState>(
+    partials: Vec<FxHashMap<Vec<u32>, S>>,
+) -> FxHashMap<Vec<u32>, S> {
+    let mut iter = partials.into_iter();
+    let Some(mut out) = iter.next() else {
+        return FxHashMap::default();
+    };
+    for partial in iter {
+        for (key, state) in partial {
+            match out.get_mut(&key) {
+                Some(s) => s.merge(&state),
+                None => {
+                    out.insert(key, state);
+                }
             }
         }
     }
-    Ok(groups)
+    out
 }
 
 /// Compute every cuboid of the cube by algebraic rollup: one raw scan for
@@ -275,43 +315,65 @@ pub fn compute_cube<S, M, F>(
 ) -> Result<CubeResult<S>>
 where
     S: AggState,
-    M: Fn() -> S,
-    F: FnMut(&mut S, RowId),
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, RowId) + Sync,
 {
     let n = cols.len();
     let finest = finest_cuboid(table, cols, &make, fold)?;
     Ok(rollup_from_finest(n, finest, &make))
 }
 
-/// Derive the full lattice from a precomputed finest cuboid.
-pub fn rollup_from_finest<S, M>(n: usize, finest: FxHashMap<Vec<u32>, S>, make: &M) -> CubeResult<S>
+/// Derive one child cuboid by rolling `removed_idx` out of its parent's
+/// compact keys.
+fn derive_child<S, M>(
+    parent_groups: &FxHashMap<Vec<u32>, S>,
+    removed_idx: usize,
+    make: &M,
+) -> FxHashMap<Vec<u32>, S>
 where
     S: AggState,
     M: Fn() -> S,
 {
+    let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
+    for (pkey, state) in parent_groups {
+        let mut ckey = Vec::with_capacity(pkey.len() - 1);
+        ckey.extend_from_slice(&pkey[..removed_idx]);
+        ckey.extend_from_slice(&pkey[removed_idx + 1..]);
+        groups.entry(ckey).or_insert_with(make).merge(state);
+    }
+    groups
+}
+
+/// Derive the full lattice from a precomputed finest cuboid.
+///
+/// The rollup is **level-synchronous**: all cuboids of one arity depend
+/// only on cuboids of arity+1, so each level's (independent) derivations
+/// run in parallel on the morsel pool. Every child is derived from a
+/// single parent by one sequential pass, so the result does not depend on
+/// the thread count.
+pub fn rollup_from_finest<S, M>(n: usize, finest: FxHashMap<Vec<u32>, S>, make: &M) -> CubeResult<S>
+where
+    S: AggState,
+    M: Fn() -> S + Sync,
+{
     let mut cuboids: FxHashMap<CuboidMask, FxHashMap<Vec<u32>, S>> = FxHashMap::default();
     cuboids.insert(CuboidMask::finest(n), finest);
-    // Finest first: each cuboid's chosen parent is computed before it.
-    for mask in CuboidMask::enumerate(n) {
-        if mask == CuboidMask::finest(n) {
-            continue;
+    let pool = Pool::global();
+    for arity in (0..n as u32).rev() {
+        let masks: Vec<CuboidMask> =
+            (0..(1u64 << n) as u32).map(CuboidMask).filter(|m| m.arity() == arity).collect();
+        let derived: Vec<FxHashMap<Vec<u32>, S>> = pool.par_map(&masks, |&mask| {
+            let parent = mask.a_parent(n).expect("every non-finest cuboid has a parent");
+            // Position (within the parent's compact key) of the attribute
+            // being rolled away.
+            let removed_attr = parent.0 & !mask.0;
+            debug_assert_eq!(removed_attr.count_ones(), 1);
+            let removed_idx = (parent.0 & (removed_attr - 1)).count_ones() as usize;
+            derive_child(&cuboids[&parent], removed_idx, make)
+        });
+        for (mask, groups) in masks.into_iter().zip(derived) {
+            cuboids.insert(mask, groups);
         }
-        let parent = mask.a_parent(n).expect("every non-finest cuboid has a parent");
-        // Position (within the parent's compact key) of the attribute
-        // being rolled away.
-        let removed_attr = parent.0 & !mask.0;
-        debug_assert_eq!(removed_attr.count_ones(), 1);
-        let removed_idx = (parent.0 & (removed_attr - 1)).count_ones() as usize;
-
-        let parent_groups = &cuboids[&parent];
-        let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
-        for (pkey, state) in parent_groups {
-            let mut ckey = Vec::with_capacity(pkey.len() - 1);
-            ckey.extend_from_slice(&pkey[..removed_idx]);
-            ckey.extend_from_slice(&pkey[removed_idx + 1..]);
-            groups.entry(ckey).or_insert_with(make).merge(state);
-        }
-        cuboids.insert(mask, groups);
     }
     CubeResult { n, cuboids }
 }

@@ -1,8 +1,16 @@
 //! Hash group-by on categorical attribute tuples.
+//!
+//! Grouping is morsel-parallel: each ~64k-row morsel packs its codes into
+//! a row-major buffer ([`crate::packed::PackedCodes`], no per-row
+//! allocation) and builds a partial map; partials merge in ascending
+//! morsel order, so group contents, their row order, and map insertion
+//! order are all independent of `TABULA_THREADS`.
 
 use crate::fx::FxHashMap;
+use crate::packed::PackedCodes;
 use crate::table::{Cat, RowId, Table};
 use crate::Result;
+use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
 
 /// Result of a group-by: each group's code tuple and its member rows.
 #[derive(Debug, Clone, Default)]
@@ -39,16 +47,34 @@ pub fn group_by(table: &Table, cols: &[usize]) -> Result<GroupedRows> {
 pub fn group_rows(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<GroupedRows> {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
-    let mut groups: FxHashMap<Vec<u32>, Vec<RowId>> = FxHashMap::default();
-    let mut key = vec![0u32; cols.len()];
-    for &row in rows {
-        for (k, codes) in key.iter_mut().zip(&code_slices) {
-            *k = codes[row as usize];
+    let pool = Pool::global();
+    let partials = pool.par_chunks(rows.len(), DEFAULT_MORSEL_ROWS, |range| {
+        let morsel = &rows[range];
+        let mut packed = PackedCodes::new(cols.len());
+        packed.fill(&code_slices, morsel);
+        let mut groups: FxHashMap<Vec<u32>, Vec<RowId>> = FxHashMap::default();
+        for (i, &row) in morsel.iter().enumerate() {
+            let key = packed.key(i);
+            match groups.get_mut(key) {
+                Some(v) => v.push(row),
+                None => {
+                    groups.insert(key.to_vec(), vec![row]);
+                }
+            }
         }
-        match groups.get_mut(&key) {
-            Some(v) => v.push(row),
-            None => {
-                groups.insert(key.clone(), vec![row]);
+        groups
+    });
+    // Ordered merge: group members concatenate in morsel order, i.e. in
+    // the caller's original row order — identical to a serial pass.
+    let mut iter = partials.into_iter();
+    let mut groups = iter.next().unwrap_or_default();
+    for partial in iter {
+        for (key, mut members) in partial {
+            match groups.get_mut(&key) {
+                Some(v) => v.append(&mut members),
+                None => {
+                    groups.insert(key, members);
+                }
             }
         }
     }
@@ -56,14 +82,14 @@ pub fn group_rows(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<Group
 }
 
 /// Project each row of `rows` to its code tuple under `cols` without
-/// grouping. Useful for membership probes against a set of cells.
-pub fn project_codes(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<Vec<Vec<u32>>> {
+/// grouping, packed row-major (one allocation total, not one per row).
+/// Useful for membership probes against a set of cells.
+pub fn project_codes(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<PackedCodes> {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
-    Ok(rows
-        .iter()
-        .map(|&row| code_slices.iter().map(|codes| codes[row as usize]).collect())
-        .collect())
+    let mut packed = PackedCodes::new(cols.len());
+    packed.fill(&code_slices, rows);
+    Ok(packed)
 }
 
 #[cfg(test)]
@@ -143,6 +169,7 @@ mod tests {
     fn project_codes_matches_group_keys() {
         let t = table();
         let codes = project_codes(&t, &[0, 1], &[0, 3]).unwrap();
-        assert_eq!(codes, vec![vec![0, 0], vec![2, 2]]);
+        let keys: Vec<&[u32]> = codes.keys().collect();
+        assert_eq!(keys, vec![&[0, 0][..], &[2, 2][..]]);
     }
 }

@@ -8,29 +8,37 @@
 //! stream the raw rows through it.
 
 use crate::fx::FxHashSet;
+use crate::packed::PackedCodes;
 use crate::table::{Cat, RowId, Table};
 use crate::Result;
+use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
 
 /// Return the row ids of `table` whose projection onto the categorical
 /// columns `cols` equals one of `cells` (compact code keys of the cuboid
 /// defined by `cols`). Output order is ascending row id.
+///
+/// The probe side streams morsel-parallel through the (small) build-side
+/// hash set; per-morsel matches concatenate in morsel order, preserving
+/// the ascending-row-id contract for any thread count.
 pub fn semi_join(table: &Table, cols: &[usize], cells: &FxHashSet<Vec<u32>>) -> Result<Vec<RowId>> {
     if cells.is_empty() {
         return Ok(Vec::new());
     }
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
-    let mut out = Vec::new();
-    let mut key = vec![0u32; cols.len()];
-    for row in 0..table.len() {
-        for (k, codes) in key.iter_mut().zip(&code_slices) {
-            *k = codes[row];
+    let pool = Pool::global();
+    let partials = pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
+        let mut packed = PackedCodes::new(cols.len());
+        packed.fill_range(&code_slices, range.clone());
+        let mut out = Vec::new();
+        for (i, row) in range.enumerate() {
+            if cells.contains(packed.key(i)) {
+                out.push(row as RowId);
+            }
         }
-        if cells.contains(&key) {
-            out.push(row as RowId);
-        }
-    }
-    Ok(out)
+        out
+    });
+    Ok(partials.concat())
 }
 
 #[cfg(test)]

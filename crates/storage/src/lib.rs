@@ -31,6 +31,7 @@ pub mod dictionary;
 pub mod fx;
 pub mod group;
 pub mod join;
+pub mod packed;
 pub mod predicate;
 pub mod schema;
 pub mod table;
@@ -42,6 +43,7 @@ pub use cube::{CellKey, CuboidMask, Lattice};
 pub use dictionary::Dictionary;
 pub use fx::{FxHashMap, FxHashSet};
 pub use group::{group_by, GroupedRows};
+pub use packed::PackedCodes;
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{Field, Schema};
 pub use table::{RowId, Table, TableBuilder};

@@ -1,0 +1,131 @@
+//! Row-major packed code buffers for the group-by / cube hot paths.
+//!
+//! Hashing a grouping key used to mean assembling a fresh `Vec<u32>` per
+//! row (or reusing one scratch vector, still touching every column slice
+//! per row). [`PackedCodes`] instead transposes the relevant dictionary
+//! codes into one flat row-major `Vec<u32>` per morsel — filled column by
+//! column (sequential reads down each code slice), then consumed row by
+//! row as fixed-width `&[u32]` slices. Hash-map lookups borrow those
+//! slices directly (`Vec<u32>: Borrow<[u32]>`), so the per-row allocation
+//! disappears entirely: only a genuinely *new* group clones its key.
+
+use crate::table::RowId;
+
+/// A row-major buffer of grouping codes: `width` codes per row, packed
+/// contiguously. Reusable across morsels via [`PackedCodes::fill`].
+#[derive(Debug, Default)]
+pub struct PackedCodes {
+    width: usize,
+    rows: usize,
+    flat: Vec<u32>,
+}
+
+impl PackedCodes {
+    /// An empty buffer for keys of `width` codes.
+    pub fn new(width: usize) -> Self {
+        PackedCodes { width, rows: 0, flat: Vec::new() }
+    }
+
+    /// Repack the buffer with the codes of `rows`, read from the
+    /// per-column `code_slices` (one `&[u32]` per grouping column, full
+    /// table length). Column-major fill: each source slice is walked once.
+    pub fn fill(&mut self, code_slices: &[&[u32]], rows: &[RowId]) {
+        debug_assert_eq!(code_slices.len(), self.width);
+        self.rows = rows.len();
+        self.flat.clear();
+        self.flat.resize(rows.len() * self.width, 0);
+        for (c, codes) in code_slices.iter().enumerate() {
+            let mut at = c;
+            for &row in rows {
+                self.flat[at] = codes[row as usize];
+                at += self.width;
+            }
+        }
+    }
+
+    /// Repack with a contiguous row range (the morsel fast path — no row
+    /// id indirection).
+    pub fn fill_range(&mut self, code_slices: &[&[u32]], range: std::ops::Range<usize>) {
+        debug_assert_eq!(code_slices.len(), self.width);
+        self.rows = range.len();
+        self.flat.clear();
+        self.flat.resize(range.len() * self.width, 0);
+        for (c, codes) in code_slices.iter().enumerate() {
+            let mut at = c;
+            for &code in &codes[range.clone()] {
+                self.flat[at] = code;
+                at += self.width;
+            }
+        }
+    }
+
+    /// Number of packed rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the buffer holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The `i`-th row's key as a fixed-width slice.
+    #[inline]
+    pub fn key(&self, i: usize) -> &[u32] {
+        &self.flat[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterate the packed keys in row order.
+    pub fn keys(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.rows).map(|i| self.key(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_transposes_column_slices() {
+        let col_a: &[u32] = &[10, 11, 12, 13];
+        let col_b: &[u32] = &[20, 21, 22, 23];
+        let mut p = PackedCodes::new(2);
+        p.fill(&[col_a, col_b], &[0, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.key(0), &[10, 20]);
+        assert_eq!(p.key(1), &[12, 22]);
+        assert_eq!(p.key(2), &[13, 23]);
+        let all: Vec<&[u32]> = p.keys().collect();
+        assert_eq!(all, vec![&[10, 20][..], &[12, 22][..], &[13, 23][..]]);
+    }
+
+    #[test]
+    fn fill_range_matches_fill() {
+        let col: &[u32] = &[5, 6, 7, 8, 9];
+        let mut a = PackedCodes::new(1);
+        let mut b = PackedCodes::new(1);
+        a.fill(&[col], &[1, 2, 3]);
+        b.fill_range(&[col], 1..4);
+        assert_eq!(a.key(0), b.key(0));
+        assert_eq!(a.key(2), b.key(2));
+    }
+
+    #[test]
+    fn zero_width_keys() {
+        let mut p = PackedCodes::new(0);
+        p.fill(&[], &[0, 1, 2]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.key(1), &[] as &[u32]);
+        assert_eq!(p.keys().count(), 3);
+    }
+
+    #[test]
+    fn refill_reuses_buffer() {
+        let col: &[u32] = &[1, 2, 3];
+        let mut p = PackedCodes::new(1);
+        p.fill(&[col], &[0, 1, 2]);
+        p.fill(&[col], &[2]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.key(0), &[3]);
+    }
+}

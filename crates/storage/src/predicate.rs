@@ -90,18 +90,25 @@ impl Predicate {
     ///
     /// Categorical equality terms are evaluated on dictionary codes (one
     /// integer compare per row); other terms fall back to typed compares.
+    /// The scan is morsel-parallel; per-morsel matches concatenate in
+    /// morsel order, so output order is ascending regardless of thread
+    /// count.
     pub fn filter(&self, table: &Table) -> Result<Vec<RowId>> {
         let compiled = self.compile(table)?;
-        let mut out = Vec::new();
-        'rows: for row in 0..table.len() {
-            for term in &compiled {
-                if !term.matches(table, row) {
-                    continue 'rows;
+        let pool = tabula_par::Pool::global();
+        let partials = pool.par_chunks(table.len(), tabula_par::DEFAULT_MORSEL_ROWS, |range| {
+            let mut out = Vec::new();
+            'rows: for row in range {
+                for term in &compiled {
+                    if !term.matches(table, row) {
+                        continue 'rows;
+                    }
                 }
+                out.push(row as RowId);
             }
-            out.push(row as RowId);
-        }
-        Ok(out)
+            out
+        });
+        Ok(partials.concat())
     }
 
     /// Evaluate over an explicit subset of rows of `table`, preserving order.
