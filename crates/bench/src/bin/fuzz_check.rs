@@ -1,0 +1,163 @@
+//! The deterministic fuzz harness over `tabula-check`'s differential
+//! oracle: generate N seeded cases, replay each through the full pipeline
+//! (every materialization mode, thread counts 1 and 4) and the naive
+//! reference implementation, and fail loudly on the first divergence —
+//! after auto-shrinking it to a minimal reproducer written next to the
+//! JSON summary as a ready-to-paste `#[test]`.
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin fuzz_check -- --seed 42 --cases 200
+//! ```
+//!
+//! Exit status is non-zero on divergence, so CI can gate on it (the
+//! `fuzz-smoke` job runs three pinned seeds at two thread counts).
+//! `BENCH_fuzz_check.json` records coverage either way.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+use tabula_bench::write_run_summary;
+use tabula_check::{diff_case, diff_sql_case, gen_case, shrink, CaseSpec, Divergence};
+use tabula_obs as obs;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    no_shrink: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seed: 42, cases: 100, no_shrink: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed <u64>");
+            }
+            "--cases" => {
+                args.cases = it.next().and_then(|v| v.parse().ok()).expect("--cases <u64>");
+            }
+            "--no-shrink" => args.no_shrink = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: fuzz_check [--seed S] [--cases N] [--no-shrink]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Run the cube diff and the SQL diff for one case.
+fn run_one(case: &CaseSpec, sql_seed: u64) -> Result<(usize, usize, usize), Divergence> {
+    let report = diff_case(case)?;
+    let statements = diff_sql_case(case, sql_seed, 8)?;
+    Ok((report.cells_checked, report.queries_checked, statements))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let registry = obs::Registry::new();
+    let start = Instant::now();
+
+    let mut cells = 0usize;
+    let mut queries = 0usize;
+    let mut statements = 0usize;
+    let mut by_loss: BTreeMap<String, u64> = BTreeMap::new();
+    let mut failure: Option<(u64, CaseSpec, Divergence)> = None;
+
+    for i in 0..args.cases {
+        let case_seed = args.seed.wrapping_add(i);
+        let case = gen_case(case_seed);
+        *by_loss.entry(case.loss.name().to_string()).or_default() += 1;
+        let case_start = Instant::now();
+        match run_one(&case, case_seed) {
+            Ok((c, q, s)) => {
+                cells += c;
+                queries += q;
+                statements += s;
+                registry.counter("fuzz.cases_passed").inc();
+            }
+            Err(d) => {
+                registry.counter("fuzz.divergences").inc();
+                eprintln!("seed {case_seed} ({}): DIVERGENCE {d}", case.loss.name());
+                failure = Some((case_seed, case, d));
+            }
+        }
+        registry.histogram("fuzz.case_time").record_duration(case_start.elapsed());
+        if failure.is_some() {
+            break;
+        }
+    }
+
+    let diverged = failure.is_some();
+    if let Some((case_seed, case, first)) = failure {
+        let (minimal, divergence) = if args.no_shrink {
+            (case, first)
+        } else {
+            eprintln!("shrinking the diverging case...");
+            match shrink(&case, |c| run_one(c, case_seed).err()) {
+                Some(s) => {
+                    eprintln!(
+                        "shrunk to {} rows / {} queries / {} attrs in {} attempts",
+                        s.case.rows.len(),
+                        s.case.queries.len(),
+                        s.case.attrs.len(),
+                        s.attempts
+                    );
+                    (s.case, s.divergence)
+                }
+                // The divergence was flaky enough to vanish under re-run;
+                // report the original case unshrunk.
+                None => (case, first),
+            }
+        };
+        let repro =
+            minimal.to_regression_test(&format!("fuzz_repro_seed_{case_seed}"), &divergence);
+        let path = format!("fuzz_repro_seed_{case_seed}.rs");
+        if let Err(e) = std::fs::write(&path, &repro) {
+            eprintln!("cannot write {path}: {e}");
+        } else {
+            eprintln!("reproducer written to {path}:\n{repro}");
+        }
+    }
+
+    let extra = [
+        ("seed", Value::Int(args.seed as i128)),
+        ("cases", Value::Int(args.cases as i128)),
+        ("cells_checked", Value::Int(cells as i128)),
+        ("queries_checked", Value::Int(queries as i128)),
+        ("sql_statements_checked", Value::Int(statements as i128)),
+        ("diverged", Value::Str(diverged.to_string())),
+        (
+            "by_loss",
+            Value::Obj(
+                by_loss
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::Int(v as i128)))
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+        ),
+    ];
+    match write_run_summary("fuzz_check", &registry.snapshot(), &extra) {
+        Ok(path) => println!("summary written to {}", path.display()),
+        Err(e) => eprintln!("cannot write summary: {e}"),
+    }
+    println!(
+        "fuzz_check: seed {} cases {}: {} cells, {} queries, {} SQL statements checked in {:.1?}{}",
+        args.seed,
+        args.cases,
+        cells,
+        queries,
+        statements,
+        start.elapsed(),
+        if diverged { " — DIVERGED" } else { ", no divergence" }
+    );
+    if diverged {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -254,7 +254,10 @@ impl<L: AccuracyLoss> SamplingCubeBuilder<L> {
                 if let Some(ctx) = iceberg_ctx {
                     // PartSamCube evaluates the iceberg condition from raw
                     // data — the expensive path the dry run exists to avoid.
-                    if self.loss.loss_with_ctx(&self.table, &rows, ctx) <= self.theta {
+                    // Same classifier predicate as the dry run, so both
+                    // modes materialize exactly the same cells.
+                    let cell_loss = self.loss.loss_with_ctx(&self.table, &rows, ctx);
+                    if !crate::loss::exceeds_theta(cell_loss, self.theta) {
                         continue;
                     }
                 }
@@ -343,7 +346,7 @@ mod tests {
                 let ans = cube.query_cell(&cell);
                 let achieved = loss.loss(&t, rows, &ans.rows);
                 assert!(
-                    achieved <= theta + 1e-9,
+                    achieved <= theta + crate::loss::LOSS_EPS,
                     "{mode:?} cell {cell}: loss {achieved} > θ {theta} (prov {:?})",
                     ans.provenance
                 );

@@ -10,7 +10,7 @@
 //! cells** and are handed to the real run for local-sample
 //! materialization.
 
-use crate::loss::AccuracyLoss;
+use crate::loss::{exceeds_theta, AccuracyLoss};
 use crate::Result;
 use tabula_obs::span;
 use tabula_storage::cube::{
@@ -109,7 +109,7 @@ pub fn dry_run<L: AccuracyLoss>(
         let groups = &states.cuboids[mask];
         let mut cells: Vec<Vec<u32>> = groups
             .iter()
-            .filter(|(_, state)| loss.finish(global_ctx, state) > theta)
+            .filter(|(_, state)| exceeds_theta(loss.finish(global_ctx, state), theta))
             .map(|(key, _)| key.clone())
             .collect();
         // Deterministic ordering for reproducible builds.
@@ -159,7 +159,7 @@ mod tests {
                 let flagged = dry.iceberg.get(&mask).is_some_and(|cells| cells.contains(key));
                 assert_eq!(
                     flagged,
-                    direct > theta,
+                    exceeds_theta(direct, theta),
                     "cell {key:?} of cuboid {mask:?}: direct loss {direct}"
                 );
             }

@@ -54,6 +54,36 @@ use tabula_storage::{AggState, RowId, Table};
 /// Denominator guard for relative-error losses.
 pub(crate) const REL_EPS: f64 = 1e-12;
 
+/// Float slack absorbed when a loss value is compared against θ.
+///
+/// The same cell's loss is computed along two different float paths: the
+/// dry run folds rows into mergeable states and merges them down the
+/// lattice, while verification (tests, the differential oracle) re-sums
+/// the raw rows directly. The two paths round differently, so an exact
+/// `loss > θ` comparison could classify a borderline cell one way and
+/// check it the other. Both sides therefore share this constant:
+///
+/// * the classifiers ([`exceeds_theta`], used by the dry run and the
+///   naive PartSamCube path) treat any loss above `θ − LOSS_EPS` as
+///   iceberg — borderline cells are *materialized*, never left to the
+///   global sample;
+/// * correctness checks accept `loss ≤ θ + LOSS_EPS`.
+///
+/// With both rules in place, a divergence below `LOSS_EPS` between the
+/// algebraic and the direct evaluation can never produce a spurious
+/// guarantee violation, and the tolerance cannot drift apart from the
+/// classifier because there is only one constant.
+pub const LOSS_EPS: f64 = 1e-9;
+
+/// The classifier predicate shared by the dry run and the naive
+/// PartSamCube path: whether a cell with this loss against the global
+/// sample must be materialized. Conservative by [`LOSS_EPS`]: borderline
+/// cells count as iceberg.
+#[inline]
+pub fn exceeds_theta(loss: f64, theta: f64) -> bool {
+    loss > theta - LOSS_EPS
+}
+
 /// A user-defined accuracy loss function. See the module docs for the
 /// contract; see `MeanLoss` for the simplest reference implementation.
 pub trait AccuracyLoss: Send + Sync + 'static {

@@ -6,11 +6,11 @@
 
 use std::sync::Arc;
 use tabula_core::cube::{SampleProvenance, SamplingCube};
-use tabula_core::loss::MeanLoss;
-use tabula_core::SamplingCubeBuilder;
-use tabula_data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula_core::loss::{HeatmapLoss, MeanLoss, Metric};
+use tabula_core::{refresh, RefreshConfig, SamplingCubeBuilder};
+use tabula_data::{meters_to_norm, TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
 use tabula_storage::cube::CellKey;
-use tabula_storage::{RowId, Table};
+use tabula_storage::{RowId, Table, TableBuilder};
 
 fn build(table: &Arc<Table>, threads: usize) -> SamplingCube {
     // The runtime override steers every Pool::global() call in the build
@@ -80,6 +80,96 @@ fn cube_is_identical_for_one_two_and_eight_threads() {
             assert_eq!(cell_a, cell_b, "cube-table keys differ at {threads} threads");
             assert_eq!(sample_a, sample_b, "sample of {cell_a} differs at {threads} threads");
         }
+    }
+}
+
+/// The heat-map loss exercises the *sample-dependent* SamGraph join path
+/// (per-row states are distances to the candidate sample, so candidates
+/// are ranked by signature and re-folded per pair) — a different
+/// parallel code path than the state-reuse join the mean loss takes.
+/// Both must be scheduling-invariant.
+#[test]
+fn sample_dependent_selection_path_is_identical_across_thread_counts() {
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 6_000, seed: 41 }).generate());
+    let pickup = table.schema().index_of("pickup").unwrap();
+    let build_heatmap = |threads: usize| {
+        tabula_par::set_threads(threads);
+        let cube = SamplingCubeBuilder::new(
+            Arc::clone(&table),
+            &CUBED_ATTRIBUTES[..4],
+            HeatmapLoss::new(pickup, Metric::Euclidean),
+            meters_to_norm(500.0),
+        )
+        .seed(13)
+        .parallelism(threads)
+        .build()
+        .expect("heatmap cube build succeeds");
+        tabula_par::set_threads(0);
+        cube
+    };
+    let baseline = fingerprint(&build_heatmap(1));
+    assert!(!baseline.cells.is_empty(), "θ must produce iceberg cells");
+    for threads in [2usize, 8] {
+        let got = fingerprint(&build_heatmap(threads));
+        assert_eq!(baseline.global_sample, got.global_sample);
+        assert_eq!(baseline.iceberg_cells, got.iceberg_cells);
+        assert_eq!(
+            baseline.samples_after_selection, got.samples_after_selection,
+            "sample-dependent selection differs between 1 and {threads} threads"
+        );
+        assert_eq!(baseline.cells, got.cells, "cube differs at {threads} threads");
+    }
+}
+
+/// An appends-only extension of `base`: same schema, every base row in
+/// order, then every row of `extra`.
+fn extend(base: &Table, extra: &Table) -> Arc<Table> {
+    let mut b = TableBuilder::new(base.schema().clone());
+    for i in 0..base.len() {
+        b.push_row(&base.row(i)).expect("base row");
+    }
+    for i in 0..extra.len() {
+        b.push_row(&extra.row(i)).expect("extra row");
+    }
+    Arc::new(b.finish())
+}
+
+/// Determinism must survive an `incremental` refresh too: the refreshed
+/// cube — reused cells, resampled cells, redrawn global sample — is
+/// byte-identical whatever the thread count of either the base build or
+/// the refresh.
+#[test]
+fn refreshed_cube_is_identical_across_thread_counts() {
+    let base = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 6_000, seed: 31 }).generate());
+    let extra = TaxiGenerator::new(TaxiConfig { rows: 1_500, seed: 77 }).generate();
+    let extended = extend(&base, &extra);
+    let fare = base.schema().index_of("fare_amount").unwrap();
+    let refresh_at = |threads: usize| {
+        let cube = build(&base, threads);
+        tabula_par::set_threads(threads);
+        let config = RefreshConfig { seed: 99, parallelism: threads, ..RefreshConfig::default() };
+        let (refreshed, stats) =
+            refresh(&cube, Arc::clone(&extended), &MeanLoss::new(fare), config)
+                .expect("refresh succeeds");
+        tabula_par::set_threads(0);
+        (fingerprint(&refreshed), stats)
+    };
+    let (baseline, stats) = refresh_at(1);
+    assert_eq!(stats.appended_rows, extra.len());
+    assert!(!baseline.cells.is_empty(), "refresh must keep iceberg cells");
+    for threads in [2usize, 8] {
+        let (got, got_stats) = refresh_at(threads);
+        assert_eq!(
+            (stats.reused_cells, stats.resampled_cells, stats.retired_cells),
+            (got_stats.reused_cells, got_stats.resampled_cells, got_stats.retired_cells),
+            "refresh accounting differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            baseline.global_sample, got.global_sample,
+            "refreshed global sample differs between 1 and {threads} threads"
+        );
+        assert_eq!(baseline.iceberg_cells, got.iceberg_cells);
+        assert_eq!(baseline.cells, got.cells, "refreshed cube differs at {threads} threads");
     }
 }
 

@@ -24,6 +24,7 @@
 //! executes statements end-to-end against `tabula-core`.
 
 pub mod ast;
+pub mod display;
 pub mod executor;
 pub mod lexer;
 pub mod parser;

@@ -140,3 +140,104 @@ fn tabula_returns_global_sample_for_non_iceberg_hits() {
         assert!(global_answer.len() > 900, "Serfling default ≈ 1060 tuples");
     }
 }
+
+/// The paper's Table II contrast, as a *negative* guarantee: on a planted
+/// iceberg cell — a rare population whose mean is dominated by a few
+/// heavy outliers — the probabilistic baselines serve answers that
+/// violate θ while claiming otherwise, and Tabula does not.
+///
+/// * `SampleFirst` filters a global pre-drawn sample, so the planted
+///   cell's outliers are almost surely absent and the served mean is
+///   wildly off.
+/// * `SnappyLike` stratifies over the QCS, but its per-stratum sample
+///   misses every outlier; the within-sample variance is then zero, the
+///   CLT error estimate reads ≈ 0, and the engine confidently skips the
+///   raw-scan fallback — a wrong answer with a clean bill of health.
+/// * Tabula's dry run flags the cell as iceberg (its loss against the
+///   global sample exceeds θ) and materializes a greedy local sample
+///   that is within θ by construction.
+#[test]
+fn baselines_violate_theta_on_planted_iceberg_cell_while_tabula_does_not() {
+    use tabula::core::loss::{MeanLoss, LOSS_EPS};
+    use tabula::storage::{ColumnType, Field, Schema, TableBuilder, Value};
+
+    let theta = 0.1;
+    let schema = Schema::new(vec![
+        Field::new("city", ColumnType::Str),
+        Field::new("payment", ColumnType::Str),
+        Field::new("fare", ColumnType::Float64),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    // 4 000 unremarkable rows across 8×4 ordinary cells.
+    for i in 0..4_000usize {
+        b.push_row(&[
+            Value::Str(format!("c{}", i % 8)),
+            Value::Str(format!("p{}", i % 4)),
+            Value::Float64(9.0 + (i % 5) as f64 * 0.5),
+        ])
+        .unwrap();
+    }
+    // The planted cell: 294 ordinary fares plus 6 heavy outliers. Raw
+    // mean ≈ 49.8; any sample that misses the outliers answers ≈ 10.
+    for i in 0..300usize {
+        let fare = if i % 50 == 49 { 2_000.0 } else { 10.0 };
+        b.push_row(&[Value::Str("z".into()), Value::Str("dispute".into()), Value::Float64(fare)])
+            .unwrap();
+    }
+    let t = Arc::new(b.finish());
+    let fare = t.schema().index_of("fare").unwrap();
+    let loss = MeanLoss::new(fare);
+    let pred = Predicate::eq("city", "z").and("payment", tabula::storage::CmpOp::Eq, "dispute");
+    let raw = pred.filter(&t).unwrap();
+    let raw_mean = raw
+        .iter()
+        .map(|&r| match t.value(r as usize, fare) {
+            Value::Float64(v) => v,
+            _ => unreachable!(),
+        })
+        .sum::<f64>()
+        / raw.len() as f64;
+    assert!(raw_mean > 45.0, "planted outliers must dominate the cell mean, got {raw_mean}");
+
+    // SampleFirst: a 200-row global pre-sample (≈ 4.6 % of the table)
+    // almost surely carries none of the 6 outliers.
+    let sample_first = SampleFirst::with_rows(Arc::clone(&t), 200, 7);
+    let sf_loss = loss.loss(&t, &raw, &sample_first.query(&pred).rows);
+    assert!(
+        sf_loss > theta,
+        "SampleFirst should violate θ on the planted cell, achieved loss {sf_loss}"
+    );
+
+    // SnappyLike: 20-row strata miss every outlier, variance reads zero,
+    // the error estimate claims (near) perfection — and the answer is
+    // off by ~5×.
+    let snappy =
+        SnappyLike::build(Arc::clone(&t), &["city", "payment"], "fare", 20, theta, 1).unwrap();
+    let answer = snappy.query_avg(&pred);
+    assert!(
+        !answer.fell_back_to_raw,
+        "the CLT estimate must (wrongly) clear the bound for the contrast to bite"
+    );
+    assert!(answer.estimated_error <= theta, "claimed error {}", answer.estimated_error);
+    let true_rel_err = (answer.avg - raw_mean).abs() / raw_mean.abs();
+    assert!(
+        true_rel_err > theta,
+        "SnappyLike should violate θ on the planted cell: avg {} vs raw mean {raw_mean}",
+        answer.avg
+    );
+
+    // Tabula: the cell is iceberg, gets a local greedy sample, and the
+    // served answer respects θ — with certainty, not confidence.
+    let cube = SamplingCubeBuilder::new(Arc::clone(&t), &["city", "payment"], loss.clone(), theta)
+        .seed(9)
+        .build()
+        .unwrap();
+    let cube_answer = cube.query(&pred).unwrap();
+    assert!(
+        matches!(cube_answer.provenance, tabula::core::SampleProvenance::Local(_)),
+        "the planted cell must be materialized as iceberg, got {:?}",
+        cube_answer.provenance
+    );
+    let tabula_loss = loss.loss(&t, &raw, &cube_answer.rows);
+    assert!(tabula_loss <= theta + LOSS_EPS, "Tabula violated θ: {tabula_loss}");
+}

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 use tabula::core::loss::{
-    AccuracyLoss, HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss,
+    AccuracyLoss, HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss, LOSS_EPS,
 };
 use tabula::core::{MaterializationMode, SamplingCubeBuilder};
 use tabula::data::{meters_to_norm, TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
@@ -36,7 +36,7 @@ fn verify_guarantee<L: AccuracyLoss + Clone>(
         let answer = cube.query_cell(&q.cell);
         let achieved = loss.loss(table, &raw, &answer.rows);
         assert!(
-            achieved <= theta + 1e-9,
+            achieved <= theta + LOSS_EPS,
             "{} mode {mode:?}: query [{}] loss {achieved} > θ {theta} ({:?})",
             loss.name(),
             q.description,
@@ -61,7 +61,7 @@ fn verify_guarantee<L: AccuracyLoss + Clone>(
             .collect();
         let achieved = loss.loss(table, &raw, &answer.rows);
         assert!(
-            achieved <= theta + 1e-9,
+            achieved <= theta + LOSS_EPS,
             "{}: iceberg cell {cell} loss {achieved} > θ {theta}",
             loss.name()
         );
