@@ -17,6 +17,7 @@ use tabula_core::loss::{
     AccuracyLoss, HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss, LOSS_EPS,
 };
 use tabula_core::{MaterializationMode, SampleProvenance, SamplingCube, SamplingCubeBuilder};
+use tabula_serve::{AnswerCache, Server};
 use tabula_storage::cube::CellKey;
 use tabula_storage::{CmpOp, Predicate, RowId, Table, Value};
 
@@ -31,6 +32,11 @@ pub const MODES: [MaterializationMode; 4] = [
 /// Thread counts the diff engine sweeps (determinism must hold across
 /// them; `tabula_par::set_threads` is the override knob).
 pub const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Client thread counts the serve-path lane sweeps: the serving layer
+/// must be byte-identical to the direct cube answer single-threaded and
+/// under concurrent clients.
+pub const SERVE_CLIENTS: [usize; 2] = [1, 8];
 
 /// Cells whose naive loss sits within this band of θ are excluded from
 /// the iceberg-*set* comparison: the production classifier evaluates the
@@ -141,6 +147,10 @@ pub fn diff_with_loss<L: AccuracyLoss + Clone>(
                 let (cells, queries) = r.unwrap();
                 report.cells_checked += cells;
                 report.queries_checked += queries;
+                if let Err(e) = check_serve(case, &cube, mode) {
+                    tabula_par::set_threads(0);
+                    return Err(e);
+                }
             }
         }
         fingerprints.push(per_mode);
@@ -314,6 +324,99 @@ fn check_cube(
         }
     }
     Ok((reference.cells.len(), case.queries.len()))
+}
+
+/// The serve-path lane: replay the case's query workload through
+/// `tabula-serve` — cold cache, then warm cache, then [`SERVE_CLIENTS`]
+/// concurrent clients — and require every served answer to match the
+/// direct cube answer byte for byte (rows AND provenance; a cache hit
+/// must reproduce the original provenance, not invent its own).
+fn check_serve(
+    case: &CaseSpec,
+    cube: &SamplingCube,
+    mode: MaterializationMode,
+) -> Result<(), Divergence> {
+    let cube = Arc::new(cube.clone());
+    // Private cache and registry: the fuzz sweep must not depend on (or
+    // pollute) process-wide cache/metric state.
+    let server = Server::with_cache(
+        Arc::clone(&cube),
+        AnswerCache::new(8 << 20, 4),
+        Arc::new(tabula_obs::Registry::new()),
+    )
+    .map_err(|e| Divergence {
+        check: "serve_build",
+        detail: format!("{mode:?}: serving index build failed: {e:?}"),
+    })?;
+
+    let preds: Vec<Predicate> = case
+        .queries
+        .iter()
+        .map(|q| {
+            let mut pred = Predicate::all();
+            for (column, value) in q {
+                pred = pred.and(column.clone(), CmpOp::Eq, value.clone());
+            }
+            pred
+        })
+        .collect();
+    let direct: Vec<_> =
+        preds.iter().map(|p| cube.query(p).expect("direct query passed the main lane")).collect();
+
+    for &clients in &SERVE_CLIENTS {
+        // Two sequential passes per client (cold + warm on the first
+        // sweep; all-warm later — both must stay identical).
+        let failure = std::sync::Mutex::new(None::<Divergence>);
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let server = &server;
+                let preds = &preds;
+                let direct = &direct;
+                let failure = &failure;
+                s.spawn(move || {
+                    for pass in 0..2 {
+                        for i in 0..preds.len() {
+                            let j = (i + c * 13) % preds.len();
+                            let served = match server.query(&preds[j]) {
+                                Ok(a) => a,
+                                Err(e) => {
+                                    *failure.lock().unwrap() = Some(Divergence {
+                                        check: "serve_query",
+                                        detail: format!("{mode:?} query {j}: {e:?}"),
+                                    });
+                                    return;
+                                }
+                            };
+                            if served.rows != direct[j].rows
+                                || served.provenance != direct[j].provenance
+                                || served.table.len() != direct[j].rows.len()
+                            {
+                                *failure.lock().unwrap() = Some(Divergence {
+                                    check: "serve_path",
+                                    detail: format!(
+                                        "{mode:?} clients={clients} pass={pass} query {:?}: \
+                                         served ({} rows, {:?}, cached={}) differs from direct \
+                                         ({} rows, {:?})",
+                                        case.queries[j],
+                                        served.rows.len(),
+                                        served.provenance,
+                                        served.cached,
+                                        direct[j].rows.len(),
+                                        direct[j].provenance
+                                    ),
+                                });
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(d) = failure.into_inner().unwrap() {
+            return Err(d);
+        }
+    }
+    Ok(())
 }
 
 /// Differential check of the SQL front-end over one case's table: for

@@ -172,6 +172,12 @@ impl SamplingCube {
         &self.attrs
     }
 
+    /// The cubed attributes' column indexes in the raw table, in cube
+    /// order (parallel to [`SamplingCube::attrs`]).
+    pub fn cubed_cols(&self) -> &[usize] {
+        &self.cols
+    }
+
     /// The accuracy-loss threshold the cube guarantees.
     pub fn theta(&self) -> f64 {
         self.theta

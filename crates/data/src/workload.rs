@@ -56,6 +56,58 @@ impl Workload {
         Ok(out)
     }
 
+    /// Draw `n` queries simulating a dashboard **zoom/pan session** — the
+    /// temporally-local access pattern a serving-layer cache sees.
+    ///
+    /// The generator random-walks the cuboid lattice anchored at a raw
+    /// row: a *zoom in* constrains one more attribute, a *zoom out*
+    /// releases one, a *pan* re-anchors to a different row at the same
+    /// zoom level, and with probability `revisit` the session re-issues a
+    /// recently seen query verbatim (the user panning back). Every query
+    /// is still guaranteed non-empty (cells are projections of real
+    /// rows), and generation is deterministic in `seed`.
+    pub fn generate_session(
+        &self,
+        table: &Table,
+        n: usize,
+        seed: u64,
+        revisit: f64,
+    ) -> Result<Vec<QueryCell>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cols: Vec<usize> =
+            self.attrs.iter().map(|a| table.schema().index_of(a)).collect::<Result<_>>()?;
+        let n_attrs = cols.len();
+        let mut out: Vec<QueryCell> = Vec::with_capacity(n);
+        // Sliding window of recent queries a "pan back" can revisit.
+        const WINDOW: usize = 16;
+        let mut row = rng.gen_range(0..table.len());
+        let mut mask = CuboidMask(0);
+        for _ in 0..n {
+            if !out.is_empty() && rng.gen_bool(revisit.clamp(0.0, 1.0)) {
+                let back = rng.gen_range(0..out.len().min(WINDOW));
+                let q = out[out.len() - 1 - back].clone();
+                out.push(q);
+                continue;
+            }
+            match rng.gen_range(0..3u32) {
+                // Zoom in: constrain one currently-free attribute.
+                0 if (mask.0.count_ones() as usize) < n_attrs => {
+                    let free: Vec<usize> = (0..n_attrs).filter(|&i| !mask.contains(i)).collect();
+                    mask = CuboidMask(mask.0 | (1 << free[rng.gen_range(0..free.len())]));
+                }
+                // Zoom out: release one constrained attribute.
+                1 if mask.0 != 0 => {
+                    let held: Vec<usize> = (0..n_attrs).filter(|&i| mask.contains(i)).collect();
+                    mask = CuboidMask(mask.0 & !(1 << held[rng.gen_range(0..held.len())]));
+                }
+                // Pan: same zoom level, different anchor row.
+                _ => row = rng.gen_range(0..table.len()),
+            }
+            out.push(self.cell_for_row(table, &cols, row, mask)?);
+        }
+        Ok(out)
+    }
+
     /// Build the query cell obtained by projecting `row` onto `mask`.
     pub fn cell_for_row(
         &self,
@@ -132,6 +184,35 @@ mod tests {
         assert!(q.predicate.is_trivial());
         assert_eq!(q.description, "<all rows>");
         assert_eq!(q.predicate.filter(&t).unwrap().len(), t.len());
+    }
+
+    #[test]
+    fn sessions_are_deterministic_local_and_non_empty() {
+        let t = example_dcm_table();
+        let w = Workload::new(&["D", "C", "M"]);
+        let a = w.generate_session(&t, 200, 7, 0.4).unwrap();
+        let b = w.generate_session(&t, 200, 7, 0.4).unwrap();
+        assert_eq!(a.len(), 200);
+        let mut repeats = 0;
+        let mut seen: Vec<&CellKey> = Vec::new();
+        for (qa, qb) in a.iter().zip(&b) {
+            assert_eq!(qa.cell, qb.cell, "session must be deterministic in seed");
+            assert!(!qa.predicate.filter(&t).unwrap().is_empty(), "{}", qa.description);
+            if seen.contains(&&qa.cell) {
+                repeats += 1;
+            }
+            seen.push(&qa.cell);
+        }
+        // Zoom/pan locality: a large share of the session re-hits cells.
+        assert!(repeats > 40, "expected cache-friendly locality, got {repeats} repeats");
+    }
+
+    #[test]
+    fn session_with_zero_revisit_still_works() {
+        let t = example_dcm_table();
+        let w = Workload::new(&["D", "C"]);
+        let qs = w.generate_session(&t, 50, 11, 0.0).unwrap();
+        assert_eq!(qs.len(), 50);
     }
 
     #[test]

@@ -3,9 +3,15 @@
 //! Every cube query answer is served from one of three sources (the paper's
 //! Section V taxonomy): a materialized *local* sample for the queried cell, a
 //! fallback to the *global* sample, or nothing at all because the cell's
-//! domain is empty. [`ProvenanceCounters`] tallies those outcomes with one
+//! domain is empty. A serving layer in front of the cube adds a fourth
+//! outcome: the answer came straight from its answer cache, without touching
+//! the cube at all. [`ProvenanceCounters`] tallies those outcomes with one
 //! relaxed `fetch_add` per query — cheap enough to stay on permanently inside
 //! `SamplingCube::query_cell`.
+//!
+//! Accounting is exact: each query increments exactly one of the four
+//! counters, so [`ProvenanceCounters::total`] always equals the number of
+//! queries served.
 
 use crate::metrics::{Counter, Registry};
 use std::sync::Arc;
@@ -16,8 +22,11 @@ pub const LOCAL_HIT: &str = "query.provenance.local_hit";
 pub const GLOBAL_HIT: &str = "query.provenance.global_hit";
 /// Counter name for queries on cells with an empty domain.
 pub const CELL_MISS: &str = "query.provenance.cell_miss";
+/// Counter name for answers served from a serving layer's answer cache
+/// (the cube itself was not consulted).
+pub const SERVE_CACHE_HIT: &str = "query.provenance.serve_cache_hit";
 
-/// Pre-resolved handles to the three provenance counters of a [`Registry`].
+/// Pre-resolved handles to the provenance counters of a [`Registry`].
 ///
 /// Resolve once (at cube construction), then tally lock-free. Cloning shares
 /// the underlying counters.
@@ -26,6 +35,7 @@ pub struct ProvenanceCounters {
     local_hit: Arc<Counter>,
     global_hit: Arc<Counter>,
     cell_miss: Arc<Counter>,
+    serve_cache_hit: Arc<Counter>,
 }
 
 impl ProvenanceCounters {
@@ -35,6 +45,7 @@ impl ProvenanceCounters {
             local_hit: registry.counter(LOCAL_HIT),
             global_hit: registry.counter(GLOBAL_HIT),
             cell_miss: registry.counter(CELL_MISS),
+            serve_cache_hit: registry.counter(SERVE_CACHE_HIT),
         }
     }
 
@@ -58,6 +69,15 @@ impl ProvenanceCounters {
         self.cell_miss.inc();
     }
 
+    /// Tally an answer served from a serving layer's cache. The cached
+    /// answer's original provenance was already tallied when it was first
+    /// computed, so a cache hit bumps *only* this counter — keeping
+    /// [`ProvenanceCounters::total`] equal to the number of queries.
+    #[inline]
+    pub fn record_serve_cache_hit(&self) {
+        self.serve_cache_hit.inc();
+    }
+
     pub fn local_hits(&self) -> u64 {
         self.local_hit.get()
     }
@@ -70,10 +90,15 @@ impl ProvenanceCounters {
         self.cell_miss.get()
     }
 
+    pub fn serve_cache_hits(&self) -> u64 {
+        self.serve_cache_hit.get()
+    }
+
     /// Total queries accounted for. For a workload whose every query goes
-    /// through the cube, this equals the workload size exactly.
+    /// through the cube (or a serving layer in front of it), this equals
+    /// the workload size exactly.
     pub fn total(&self) -> u64 {
-        self.local_hits() + self.global_hits() + self.cell_misses()
+        self.local_hits() + self.global_hits() + self.cell_misses() + self.serve_cache_hits()
     }
 }
 
@@ -95,14 +120,17 @@ mod tests {
         p.record_local_hit();
         p.record_global_hit();
         p.record_cell_miss();
+        p.record_serve_cache_hit();
         assert_eq!(p.local_hits(), 2);
         assert_eq!(p.global_hits(), 1);
         assert_eq!(p.cell_misses(), 1);
-        assert_eq!(p.total(), 4);
+        assert_eq!(p.serve_cache_hits(), 1);
+        assert_eq!(p.total(), 5);
         let snap = r.snapshot();
         assert_eq!(snap.counter(LOCAL_HIT), 2);
         assert_eq!(snap.counter(GLOBAL_HIT), 1);
         assert_eq!(snap.counter(CELL_MISS), 1);
+        assert_eq!(snap.counter(SERVE_CACHE_HIT), 1);
     }
 
     #[test]

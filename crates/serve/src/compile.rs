@@ -1,0 +1,257 @@
+//! The predicate compiler: resolve a dashboard predicate to a
+//! stack-allocated cell reference in one pass, with zero heap allocation
+//! per query.
+//!
+//! [`SamplingCube::cell_for_predicate`] allocates a fresh
+//! `Vec<Option<u32>>` per query and re-walks the attribute list through
+//! `String` comparisons. On the serving hot path that allocation (and the
+//! `CellKey` clone it feeds into the hash probe) dominates the probe
+//! itself. [`CompiledCell`] is the allocation-free replacement: a fixed
+//! `[u32; MAX_CUBED_ATTRS]` code buffer plus a presence bitmask, built on
+//! the stack, hashed and compared without touching the heap.
+//!
+//! Compilation short-circuits to `None` (the **EmptyDomain** answer) as
+//! soon as a predicate value falls outside its attribute's dictionary or
+//! two equality terms contradict — exactly the cases where
+//! [`SamplingCube::cell_for_predicate`] returns `Ok(None)`.
+//!
+//! [`SamplingCube::cell_for_predicate`]: tabula_core::SamplingCube::cell_for_predicate
+
+use std::hash::{Hash, Hasher};
+use tabula_core::{CoreError, Result};
+use tabula_storage::cube::CellKey;
+use tabula_storage::{CmpOp, Predicate, Table};
+
+/// Upper bound on cubed attributes a compiled cell can carry. Matches the
+/// cube layer's own 31-attribute ceiling ([`CuboidMask::finest`]); one
+/// extra slot keeps the buffer a round power of two.
+///
+/// [`CuboidMask::finest`]: tabula_storage::cube::CuboidMask::finest
+pub const MAX_CUBED_ATTRS: usize = 32;
+
+/// A query cell resolved to code space, entirely on the stack.
+///
+/// Bit `i` of `mask` set means cubed attribute `i` is constrained to
+/// `codes[i]`; unset positions are the cell's `*` wildcards and their
+/// `codes` slots are always zero (which keeps `Eq`/`Hash` a plain prefix
+/// comparison). `Copy` by design: the answer cache stores the key inline,
+/// so a cache insert allocates nothing for the key either.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledCell {
+    mask: u32,
+    codes: [u32; MAX_CUBED_ATTRS],
+    n: u8,
+}
+
+impl CompiledCell {
+    /// The wildcard-only cell over `n` attributes (the `ALL` cell).
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        debug_assert!(n < MAX_CUBED_ATTRS);
+        CompiledCell { mask: 0, codes: [0; MAX_CUBED_ATTRS], n: n as u8 }
+    }
+
+    /// Constrain attribute `i` to `code`.
+    #[inline]
+    pub fn set(&mut self, i: usize, code: u32) {
+        self.mask |= 1 << i;
+        self.codes[i] = code;
+    }
+
+    /// The presence bitmask (equals the owning cuboid's mask).
+    #[inline]
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Number of cubed attributes (constrained or not).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The code constraining attribute `i`, if any.
+    #[inline]
+    pub fn code(&self, i: usize) -> Option<u32> {
+        (self.mask & (1 << i) != 0).then(|| self.codes[i])
+    }
+
+    /// Gather the present codes (ascending attribute order) into `buf`,
+    /// returning the filled prefix — the compact key probed against the
+    /// serving index. No allocation: `buf` lives on the caller's stack.
+    #[inline]
+    pub fn compact_into<'b>(&self, buf: &'b mut [u32; MAX_CUBED_ATTRS]) -> &'b [u32] {
+        let mut k = 0;
+        let mut bits = self.mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            buf[k] = self.codes[i];
+            k += 1;
+            bits &= bits - 1;
+        }
+        &buf[..k]
+    }
+
+    /// Lossless conversion from the heap cell key (test/compat path).
+    pub fn from_cell_key(key: &CellKey) -> Self {
+        let mut cell = CompiledCell::all(key.codes.len());
+        for (i, code) in key.codes.iter().enumerate() {
+            if let Some(c) = code {
+                cell.set(i, *c);
+            }
+        }
+        cell
+    }
+
+    /// Lossless conversion to the heap cell key (test/compat path).
+    pub fn to_cell_key(&self) -> CellKey {
+        CellKey::new((0..self.n as usize).map(|i| self.code(i)).collect())
+    }
+}
+
+impl PartialEq for CompiledCell {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Wildcard slots are zero by construction, so comparing the full
+        // attribute prefix is equivalent to comparing per-bit assignments.
+        self.mask == other.mask
+            && self.n == other.n
+            && self.codes[..self.n as usize] == other.codes[..other.n as usize]
+    }
+}
+
+impl Eq for CompiledCell {}
+
+impl Hash for CompiledCell {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.mask);
+        let mut bits = self.mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            state.write_u32(self.codes[i]);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Resolve `pred` to a [`CompiledCell`] over the cubed attributes
+/// `attrs`/`cols` of `table`.
+///
+/// `Ok(None)` is the EmptyDomain short-circuit: some value is outside its
+/// attribute's domain, or two equality terms contradict — the raw answer
+/// is provably empty, no probe needed. Errors mirror
+/// [`SamplingCube::cell_for_predicate`] exactly: non-equality terms are a
+/// configuration error, non-cubed columns are `NotCubedAttribute`.
+///
+/// [`SamplingCube::cell_for_predicate`]: tabula_core::SamplingCube::cell_for_predicate
+pub fn compile_predicate(
+    table: &Table,
+    attrs: &[String],
+    cols: &[usize],
+    pred: &Predicate,
+) -> Result<Option<CompiledCell>> {
+    let mut cell = CompiledCell::all(attrs.len());
+    for term in pred.terms() {
+        if term.op != CmpOp::Eq {
+            return Err(CoreError::Config(format!(
+                "sampling-cube queries support equality predicates only (column {})",
+                term.column
+            )));
+        }
+        // Linear scan: the attribute list is tiny (≤ a handful), so this
+        // beats a map lookup and allocates nothing.
+        let pos = attrs
+            .iter()
+            .position(|a| a == &term.column)
+            .ok_or_else(|| CoreError::NotCubedAttribute(term.column.clone()))?;
+        let cat = table.cat(cols[pos])?;
+        match cat.lookup(&term.value) {
+            Some(code) => {
+                if cell.code(pos).is_some_and(|c| c != code) {
+                    // Contradictory equality terms: empty answer.
+                    return Ok(None);
+                }
+                cell.set(pos, code);
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(cell))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabula_storage::schema::{Field, Schema};
+    use tabula_storage::{ColumnType, TableBuilder};
+
+    fn table() -> Table {
+        let schema =
+            Schema::new(vec![Field::new("a", ColumnType::Str), Field::new("b", ColumnType::Int64)]);
+        let mut b = TableBuilder::new(schema);
+        for (s, i) in [("x", 1i64), ("y", 2), ("x", 2)] {
+            b.push_row(&[s.into(), i.into()]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn attrs() -> (Vec<String>, Vec<usize>) {
+        (vec!["a".into(), "b".into()], vec![0, 1])
+    }
+
+    #[test]
+    fn compiles_to_the_same_cell_as_the_cube_resolver() {
+        let t = table();
+        let (attrs, cols) = attrs();
+        let pred = Predicate::eq("b", 2i64).and("a", CmpOp::Eq, "y");
+        let cell = compile_predicate(&t, &attrs, &cols, &pred).unwrap().unwrap();
+        assert_eq!(cell.to_cell_key(), CellKey::new(vec![Some(1), Some(1)]));
+        assert_eq!(cell.mask(), 0b11);
+        let mut buf = [0u32; MAX_CUBED_ATTRS];
+        assert_eq!(cell.compact_into(&mut buf), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_domain_and_contradiction_short_circuit() {
+        let t = table();
+        let (attrs, cols) = attrs();
+        let missing = Predicate::eq("a", "nope");
+        assert!(compile_predicate(&t, &attrs, &cols, &missing).unwrap().is_none());
+        let contradiction = Predicate::eq("a", "x").and("a", CmpOp::Eq, "y");
+        assert!(compile_predicate(&t, &attrs, &cols, &contradiction).unwrap().is_none());
+        // Repeating the same equality is not a contradiction.
+        let repeat = Predicate::eq("a", "x").and("a", CmpOp::Eq, "x");
+        assert!(compile_predicate(&t, &attrs, &cols, &repeat).unwrap().is_some());
+    }
+
+    #[test]
+    fn rejects_ranges_and_non_cubed_columns() {
+        let t = table();
+        let (attrs, cols) = attrs();
+        let range = Predicate::all().and("b", CmpOp::Gt, 1i64);
+        assert!(matches!(compile_predicate(&t, &attrs, &cols, &range), Err(CoreError::Config(_))));
+        let unknown = Predicate::eq("zzz", 1i64);
+        assert!(matches!(
+            compile_predicate(&t, &attrs, &cols, &unknown),
+            Err(CoreError::NotCubedAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn round_trips_cell_keys_and_hashes_consistently() {
+        let key = CellKey::new(vec![Some(7), None, Some(0)]);
+        let cell = CompiledCell::from_cell_key(&key);
+        assert_eq!(cell.to_cell_key(), key);
+        assert_eq!(cell.arity(), 3);
+        // A wildcard in position 1 differs from code 0 in position 1.
+        let zero = CompiledCell::from_cell_key(&CellKey::new(vec![Some(7), Some(0), Some(0)]));
+        assert_ne!(cell, zero);
+        let same = CompiledCell::from_cell_key(&CellKey::new(vec![Some(7), None, Some(0)]));
+        assert_eq!(cell, same);
+        let mut set = tabula_storage::FxHashSet::default();
+        set.insert(cell);
+        assert!(set.contains(&same));
+        assert!(!set.contains(&zero));
+    }
+}

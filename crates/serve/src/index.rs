@@ -1,0 +1,244 @@
+//! The frozen serving index: a read-optimized replacement for the cube
+//! table's global `FxHashMap` probe.
+//!
+//! Built once from a [`SamplingCube`], the index partitions the cube
+//! table by cuboid and stores each cuboid's cells in one of two dense
+//! layouts:
+//!
+//! * **Direct** — when the cuboid's key domain (the product of its
+//!   grouping attributes' cardinalities) is small, a flat slot array
+//!   indexed by the mixed-radix compact key. A probe is one multiply-add
+//!   chain plus one load: no hashing, no comparison, no branches.
+//! * **Sorted** — otherwise, the cuboid's compact keys as a flat,
+//!   lexicographically sorted, fixed-width `u32` array probed by
+//!   branch-free binary search. Cache behaviour is sequential-ish and
+//!   the comparator is a short fixed-width slice compare, against the
+//!   hash map's pointer-chasing and per-probe `CellKey` hashing.
+//!
+//! Probes are read-only and lock-free; the index never mutates after
+//! construction (refreshes build a new index and swap it in — see
+//! [`crate::Server`]).
+
+use crate::compile::{CompiledCell, MAX_CUBED_ATTRS};
+use tabula_core::{Result, SamplingCube};
+
+/// Domain-size ceiling for the direct (slot-array) layout, in slots.
+/// 64 Ki slots is 256 KiB per cuboid worst case — cheap enough to buy the
+/// O(1) probe on every low-cardinality cuboid (where most dashboard
+/// zoom-out queries land).
+const DIRECT_SLOTS_CAP: u64 = 1 << 16;
+
+/// One cuboid's cells in a read-optimized layout.
+#[derive(Debug)]
+enum Cuboid {
+    /// No materialized cells: every probe falls through to the global
+    /// sample.
+    Empty,
+    /// Slot array indexed by mixed-radix compact key; a slot holds
+    /// `sample_id + 1`, with 0 meaning "not materialized".
+    Direct { strides: Vec<u64>, slots: Vec<u32> },
+    /// Fixed-width sorted keys (`arity` words per entry) with parallel
+    /// sample ids.
+    Sorted { arity: usize, keys: Vec<u32>, ids: Vec<u32> },
+}
+
+/// The frozen per-cuboid serving index of one cube generation.
+#[derive(Debug)]
+pub struct ServeIndex {
+    n: usize,
+    cuboids: Vec<Cuboid>,
+    cells: usize,
+}
+
+impl ServeIndex {
+    /// Freeze `cube`'s cube table into the read-optimized layout.
+    pub fn build(cube: &SamplingCube) -> Result<Self> {
+        let n = cube.attrs().len();
+        assert!(
+            n < MAX_CUBED_ATTRS,
+            "serving index supports at most {} cubed attributes",
+            MAX_CUBED_ATTRS - 1
+        );
+        let table = cube.table();
+        let cards: Vec<u64> = cube
+            .cubed_cols()
+            .iter()
+            .map(|&c| Ok(table.cat(c)?.cardinality() as u64))
+            .collect::<Result<_>>()?;
+
+        // Partition the cube table by cuboid mask, in compact-key form.
+        let mut per_mask: Vec<Vec<([u32; MAX_CUBED_ATTRS], u32)>> = Vec::new();
+        per_mask.resize_with(1usize << n, Vec::new);
+        let mut cells = 0usize;
+        for (key, sample_id) in cube.cube_table() {
+            let cell = CompiledCell::from_cell_key(key);
+            let mut buf = [0u32; MAX_CUBED_ATTRS];
+            let compact = cell.compact_into(&mut buf);
+            let mut fixed = [0u32; MAX_CUBED_ATTRS];
+            fixed[..compact.len()].copy_from_slice(compact);
+            per_mask[cell.mask() as usize].push((fixed, sample_id));
+            cells += 1;
+        }
+
+        let cuboids = per_mask
+            .into_iter()
+            .enumerate()
+            .map(|(mask, mut entries)| {
+                if entries.is_empty() {
+                    return Cuboid::Empty;
+                }
+                let attr_ids: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                let arity = attr_ids.len();
+                // Mixed-radix strides over the grouping attributes'
+                // cardinalities; `domain` is the total slot count.
+                let mut strides = vec![1u64; arity];
+                let mut domain = 1u64;
+                for k in (0..arity).rev() {
+                    strides[k] = domain;
+                    domain = domain.saturating_mul(cards[attr_ids[k]]);
+                }
+                if domain <= DIRECT_SLOTS_CAP {
+                    let mut slots = vec![0u32; domain as usize];
+                    for (key, id) in &entries {
+                        let slot: u64 =
+                            key[..arity].iter().zip(&strides).map(|(&c, &s)| c as u64 * s).sum();
+                        slots[slot as usize] = id + 1;
+                    }
+                    Cuboid::Direct { strides, slots }
+                } else {
+                    entries.sort_unstable_by(|a, b| a.0[..arity].cmp(&b.0[..arity]));
+                    let mut keys = Vec::with_capacity(entries.len() * arity);
+                    let mut ids = Vec::with_capacity(entries.len());
+                    for (key, id) in &entries {
+                        keys.extend_from_slice(&key[..arity]);
+                        ids.push(*id);
+                    }
+                    Cuboid::Sorted { arity, keys, ids }
+                }
+            })
+            .collect();
+        Ok(ServeIndex { n, cuboids, cells })
+    }
+
+    /// Number of cubed attributes.
+    pub fn arity(&self) -> usize {
+        self.n
+    }
+
+    /// Number of indexed (materialized) cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Look up the sample id serving `cell`, or `None` when the cell is
+    /// not materialized (the global-sample fallback). Byte-identical to
+    /// the cube table's own `FxHashMap::get`.
+    #[inline]
+    pub fn probe(&self, cell: &CompiledCell) -> Option<u32> {
+        debug_assert_eq!(cell.arity(), self.n);
+        match &self.cuboids[cell.mask() as usize] {
+            Cuboid::Empty => None,
+            Cuboid::Direct { strides, slots } => {
+                let mut slot = 0u64;
+                let mut k = 0;
+                let mut bits = cell.mask();
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    // Codes come from dictionary lookups, so they are
+                    // always inside the attribute's cardinality — the
+                    // slot index cannot escape the array.
+                    slot += cell.code(i).unwrap_or(0) as u64 * strides[k];
+                    k += 1;
+                    bits &= bits - 1;
+                }
+                let v = slots[slot as usize];
+                (v != 0).then(|| v - 1)
+            }
+            Cuboid::Sorted { arity, keys, ids } => {
+                let mut buf = [0u32; MAX_CUBED_ATTRS];
+                let probe = cell.compact_into(&mut buf);
+                probe_sorted(keys, ids, *arity, probe)
+            }
+        }
+    }
+
+    /// Approximate heap bytes of the index payload.
+    pub fn heap_bytes(&self) -> usize {
+        self.cuboids
+            .iter()
+            .map(|c| match c {
+                Cuboid::Empty => 0,
+                Cuboid::Direct { strides, slots } => strides.len() * 8 + slots.len() * 4,
+                Cuboid::Sorted { keys, ids, .. } => keys.len() * 4 + ids.len() * 4,
+            })
+            .sum()
+    }
+}
+
+/// Branch-free lower-bound search over fixed-width sorted keys: halving
+/// steps conditionally advance `base`, and the final slot is checked for
+/// equality once. The comparison is a fixed-`arity` slice compare the
+/// compiler unrolls for small arities.
+#[inline]
+fn probe_sorted(keys: &[u32], ids: &[u32], arity: usize, probe: &[u32]) -> Option<u32> {
+    let mut size = ids.len();
+    if size == 0 {
+        return None;
+    }
+    let mut base = 0usize;
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        // Move base up when keys[mid] <= probe; compiles to a
+        // conditional move — no unpredictable branch in the loop body.
+        if &keys[mid * arity..mid * arity + arity] <= probe {
+            base = mid;
+        }
+        size -= half;
+    }
+    (&keys[base * arity..base * arity + arity] == probe).then(|| ids[base])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_probe_finds_every_key_and_only_those() {
+        // 3-wide keys, a few hundred entries.
+        let mut entries: Vec<[u32; 3]> = Vec::new();
+        for a in 0..8u32 {
+            for b in 0..6u32 {
+                for c in 0..5u32 {
+                    if (a + b + c) % 3 == 0 {
+                        entries.push([a, b, c]);
+                    }
+                }
+            }
+        }
+        entries.sort_unstable();
+        let keys: Vec<u32> = entries.iter().flatten().copied().collect();
+        let ids: Vec<u32> = (0..entries.len() as u32).collect();
+        for a in 0..8u32 {
+            for b in 0..6u32 {
+                for c in 0..5u32 {
+                    let probe = [a, b, c];
+                    let want = entries.iter().position(|e| *e == probe).map(|i| i as u32);
+                    assert_eq!(probe_sorted(&keys, &ids, 3, &probe), want, "{probe:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_probe_handles_edges() {
+        assert_eq!(probe_sorted(&[], &[], 2, &[0, 0]), None);
+        // Single zero-arity entry (the ALL cell): the empty probe matches.
+        assert_eq!(probe_sorted(&[], &[7], 0, &[]), Some(7));
+        let keys = vec![5u32];
+        let ids = vec![3u32];
+        assert_eq!(probe_sorted(&keys, &ids, 1, &[5]), Some(3));
+        assert_eq!(probe_sorted(&keys, &ids, 1, &[4]), None);
+        assert_eq!(probe_sorted(&keys, &ids, 1, &[6]), None);
+    }
+}

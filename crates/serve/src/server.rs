@@ -1,0 +1,369 @@
+//! The concurrent query server: compiled predicates in front of a frozen
+//! index in front of a sharded answer cache.
+//!
+//! One [`Server`] wraps one cube *generation* at a time. The read path
+//! takes a single `RwLock` read acquisition (to clone the generation
+//! `Arc`), then runs entirely on immutable data: compile the predicate on
+//! the stack, probe the cache, on a miss probe the frozen index and
+//! materialize. Installing a refreshed cube swaps the generation pointer
+//! under the write lock and bumps the cache epoch, so in-flight queries
+//! finish against the generation they started with and no stale cached
+//! answer survives the swap.
+//!
+//! Answers are byte-identical to [`SamplingCube::query`] at any thread
+//! count and cache size: the index probe replicates the cube table lookup
+//! exactly, the cache stores exactly what a miss computed, and provenance
+//! accounting stays exact (a cache hit tallies `serve_cache_hit`, every
+//! other outcome tallies the same counter the cube itself would).
+
+use crate::cache::{AnswerCache, CacheLookup, CachedAnswer};
+use crate::compile::{compile_predicate, CompiledCell};
+use crate::index::ServeIndex;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use tabula_core::incremental::{refresh, RefreshConfig, RefreshStats};
+use tabula_core::loss::AccuracyLoss;
+use tabula_core::{Result, SampleProvenance, SamplingCube};
+use tabula_obs::metrics::{Counter, Histogram, Registry};
+use tabula_storage::{Predicate, RowId, Table};
+
+/// Counter: answers served from the cache.
+pub const SERVE_HITS: &str = "serve.hits";
+/// Counter: answers computed through the index (cache miss or bypass).
+pub const SERVE_MISSES: &str = "serve.misses";
+/// Counter: cache entries evicted for capacity.
+pub const SERVE_EVICTIONS: &str = "serve.evictions";
+/// Histogram: nanoseconds spent probing the frozen index on misses.
+pub const SERVE_PROBE_NS: &str = "serve.probe_ns";
+
+/// Pre-resolved serving metrics.
+#[derive(Debug, Clone)]
+struct ServeMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    probe_ns: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn in_registry(registry: &Registry) -> Self {
+        ServeMetrics {
+            hits: registry.counter(SERVE_HITS),
+            misses: registry.counter(SERVE_MISSES),
+            evictions: registry.counter(SERVE_EVICTIONS),
+            probe_ns: registry.histogram(SERVE_PROBE_NS),
+        }
+    }
+}
+
+/// One immutable cube generation: the cube plus its frozen index and a
+/// pre-materialized empty answer table.
+#[derive(Debug)]
+struct Generation {
+    cube: Arc<SamplingCube>,
+    index: ServeIndex,
+    attrs: Vec<String>,
+    cols: Vec<usize>,
+    empty: Arc<Table>,
+}
+
+impl Generation {
+    fn build(cube: Arc<SamplingCube>) -> Result<Self> {
+        let index = ServeIndex::build(&cube)?;
+        let attrs = cube.attrs().to_vec();
+        let cols = cube.cubed_cols().to_vec();
+        let empty = Arc::new(cube.table().take(&[]));
+        Ok(Generation { cube, index, attrs, cols, empty })
+    }
+}
+
+/// A served answer: the cube answer plus its materialized table.
+#[derive(Debug, Clone)]
+pub struct ServeAnswer {
+    /// Sample row ids into the generation's raw table.
+    pub rows: Arc<Vec<RowId>>,
+    /// Which cube path originally produced the rows.
+    pub provenance: SampleProvenance,
+    /// The materialized sample table (what ships to the dashboard).
+    pub table: Arc<Table>,
+    /// Whether this answer came from the cache.
+    pub cached: bool,
+}
+
+/// The concurrent serving layer over a [`SamplingCube`].
+///
+/// Shared-reference querying: `&Server` is `Sync`, so clients on any
+/// number of threads call [`Server::query`] concurrently.
+#[derive(Debug)]
+pub struct Server {
+    generation: RwLock<Arc<Generation>>,
+    cache: AnswerCache,
+    metrics: ServeMetrics,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Serve `cube` with cache settings from the environment
+    /// (`TABULA_CACHE_MB`, `TABULA_CACHE_BYPASS`), metrics in the
+    /// process-wide registry.
+    pub fn new(cube: Arc<SamplingCube>) -> Result<Self> {
+        Server::with_cache(cube, AnswerCache::from_env(), Arc::clone(tabula_obs::global()))
+    }
+
+    /// Serve `cube` with metrics (and refreshed generations' provenance)
+    /// homed in `registry`, cache from the environment.
+    pub fn in_registry(cube: Arc<SamplingCube>, registry: &Arc<Registry>) -> Result<Self> {
+        Server::with_cache(cube, AnswerCache::from_env(), Arc::clone(registry))
+    }
+
+    /// Full-control constructor.
+    pub fn with_cache(
+        cube: Arc<SamplingCube>,
+        cache: AnswerCache,
+        registry: Arc<Registry>,
+    ) -> Result<Self> {
+        Ok(Server {
+            generation: RwLock::new(Arc::new(Generation::build(cube)?)),
+            cache,
+            metrics: ServeMetrics::in_registry(&registry),
+            registry,
+        })
+    }
+
+    /// The currently served cube generation.
+    pub fn cube(&self) -> Arc<SamplingCube> {
+        Arc::clone(&self.generation.read().unwrap().cube)
+    }
+
+    /// The answer cache (for diagnostics).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Materialized cells in the current generation's frozen index.
+    pub fn indexed_cells(&self) -> usize {
+        self.generation.read().unwrap().index.cells()
+    }
+
+    /// Serve one dashboard query.
+    ///
+    /// Identical semantics to [`SamplingCube::query`] followed by
+    /// [`materialize`](tabula_core::QueryAnswer::materialize): same rows,
+    /// same provenance, same errors — just faster on repeats.
+    pub fn query(&self, pred: &Predicate) -> Result<ServeAnswer> {
+        let generation = Arc::clone(&self.generation.read().unwrap());
+        let cube = &generation.cube;
+        let Some(cell) =
+            compile_predicate(cube.table(), &generation.attrs, &generation.cols, pred)?
+        else {
+            // EmptyDomain short-circuit: nothing to probe, nothing to cache.
+            cube.provenance_counters().record_cell_miss();
+            return Ok(ServeAnswer {
+                rows: Arc::new(Vec::new()),
+                provenance: SampleProvenance::EmptyDomain,
+                table: Arc::clone(&generation.empty),
+                cached: false,
+            });
+        };
+        match self.cache.get(&cell) {
+            CacheLookup::Hit(hit) => {
+                self.metrics.hits.inc();
+                cube.provenance_counters().record_serve_cache_hit();
+                Ok(ServeAnswer {
+                    rows: hit.rows,
+                    provenance: hit.provenance,
+                    table: hit.table,
+                    cached: true,
+                })
+            }
+            lookup => {
+                self.metrics.misses.inc();
+                let answer = self.compute(&generation, &cell);
+                if !matches!(lookup, CacheLookup::Bypass) {
+                    let evicted = self.cache.insert(
+                        cell,
+                        CachedAnswer {
+                            rows: Arc::clone(&answer.rows),
+                            provenance: answer.provenance,
+                            table: Arc::clone(&answer.table),
+                        },
+                    );
+                    if evicted > 0 {
+                        self.metrics.evictions.add(evicted as u64);
+                    }
+                }
+                Ok(answer)
+            }
+        }
+    }
+
+    /// Probe the frozen index and materialize — the cache-miss path.
+    fn compute(&self, generation: &Generation, cell: &CompiledCell) -> ServeAnswer {
+        let cube = &generation.cube;
+        let start = Instant::now();
+        let probed = generation.index.probe(cell);
+        self.metrics.probe_ns.record_duration(start.elapsed());
+        let (rows, provenance) = match probed {
+            Some(sample_id) => {
+                cube.provenance_counters().record_local_hit();
+                (Arc::clone(cube.sample(sample_id)), SampleProvenance::Local(sample_id))
+            }
+            None => {
+                cube.provenance_counters().record_global_hit();
+                (Arc::clone(cube.global_sample()), SampleProvenance::Global)
+            }
+        };
+        let table = Arc::new(cube.table().take(&rows));
+        ServeAnswer { rows, provenance, table, cached: false }
+    }
+
+    /// Install a new cube generation: freeze its index, swap it in, and
+    /// invalidate every cached answer (epoch bump — O(1), no cache locks).
+    pub fn install(&self, cube: Arc<SamplingCube>) -> Result<()> {
+        let generation = Arc::new(Generation::build(cube)?);
+        *self.generation.write().unwrap() = generation;
+        self.cache.advance_epoch();
+        Ok(())
+    }
+
+    /// Incrementally refresh the served cube against `new_table` (the
+    /// current table with rows appended) and install the result. Cached
+    /// answers from the previous generation are invalidated atomically
+    /// with the swap.
+    pub fn refresh<L: AccuracyLoss>(
+        &self,
+        new_table: Arc<Table>,
+        loss: &L,
+        config: RefreshConfig,
+    ) -> Result<RefreshStats> {
+        let old = self.cube();
+        let (new_cube, stats) = refresh(&old, new_table, loss, config)?;
+        self.install(Arc::new(new_cube.with_registry(&self.registry)))?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabula_core::builder::{MaterializationMode, SamplingCubeBuilder};
+    use tabula_core::loss::MeanLoss;
+    use tabula_data::example_dcm_table;
+    use tabula_storage::CmpOp;
+
+    fn cube(registry: &Arc<Registry>) -> Arc<SamplingCube> {
+        let t = Arc::new(example_dcm_table());
+        let fare = t.schema().index_of("fare").unwrap();
+        Arc::new(
+            SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], MeanLoss::new(fare), 0.10)
+                .seed(1)
+                .mode(MaterializationMode::Tabula)
+                .build()
+                .unwrap()
+                .with_registry(registry),
+        )
+    }
+
+    fn server(registry: &Arc<Registry>) -> Server {
+        Server::with_cache(cube(registry), AnswerCache::new(4 << 20, 4), Arc::clone(registry))
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_byte_identical_answers_to_the_cube() {
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        let cube = srv.cube();
+        let preds = [
+            Predicate::eq("M", "dispute"),
+            Predicate::eq("M", "cash"),
+            Predicate::eq("D", "[5,10)").and("M", CmpOp::Eq, "credit"),
+            Predicate::all(),
+            Predicate::eq("M", "bitcoin"), // out of domain
+        ];
+        for pred in &preds {
+            let direct = cube.query(pred).unwrap();
+            // Cold then warm: both must equal the direct answer.
+            for pass in 0..2 {
+                let served = srv.query(pred).unwrap();
+                assert_eq!(served.rows, direct.rows, "{pred:?} pass {pass}");
+                assert_eq!(served.provenance, direct.provenance);
+                assert_eq!(served.table.len(), direct.rows.len());
+            }
+        }
+        // Second passes were cache hits (except EmptyDomain, never cached).
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(SERVE_HITS), 4);
+        assert_eq!(snap.counter(SERVE_MISSES), 4);
+    }
+
+    #[test]
+    fn provenance_accounting_stays_exact_with_cache_hits() {
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        let counters = srv.cube().provenance_counters().clone();
+        let queries = 30u64;
+        for i in 0..queries {
+            let m = ["cash", "credit", "dispute"][(i % 3) as usize];
+            srv.query(&Predicate::eq("M", m)).unwrap();
+        }
+        assert_eq!(counters.total(), queries);
+        assert!(counters.serve_cache_hits() >= queries - 6, "repeats must hit the cache");
+    }
+
+    #[test]
+    fn bypass_cache_still_serves_identical_answers() {
+        let registry = Arc::new(Registry::new());
+        let srv =
+            Server::with_cache(cube(&registry), AnswerCache::new(0, 1), Arc::clone(&registry))
+                .unwrap();
+        let cube = srv.cube();
+        let pred = Predicate::eq("M", "dispute");
+        let direct = cube.query(&pred).unwrap();
+        for _ in 0..3 {
+            let served = srv.query(&pred).unwrap();
+            assert_eq!(served.rows, direct.rows);
+            assert!(!served.cached);
+        }
+        assert_eq!(registry.snapshot().counter(SERVE_HITS), 0);
+    }
+
+    #[test]
+    fn concurrent_clients_get_identical_answers() {
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        let cube = srv.cube();
+        let preds: Vec<Predicate> =
+            ["cash", "credit", "dispute", "free"].iter().map(|m| Predicate::eq("M", *m)).collect();
+        let direct: Vec<_> = preds.iter().map(|p| cube.query(p).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let srv = &srv;
+                let preds = &preds;
+                let direct = &direct;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let j = (t + i) % preds.len();
+                        let served = srv.query(&preds[j]).unwrap();
+                        assert_eq!(served.rows, direct[j].rows);
+                        assert_eq!(served.provenance, direct[j].provenance);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn install_invalidates_cached_answers() {
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        let pred = Predicate::eq("M", "dispute");
+        srv.query(&pred).unwrap();
+        assert!(srv.query(&pred).unwrap().cached);
+        // Reinstall the same cube: epoch bump must force recomputation.
+        let same = srv.cube();
+        srv.install(same).unwrap();
+        assert!(!srv.query(&pred).unwrap().cached);
+        assert!(srv.query(&pred).unwrap().cached);
+    }
+}

@@ -12,6 +12,7 @@ use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, Regression
 use tabula_core::{MaterializationMode, SamplingCubeBuilder, SerflingConfig};
 use tabula_obs as obs;
 use tabula_obs::span;
+use tabula_serve::Server;
 use tabula_storage::{Predicate, Table};
 
 /// How a registered loss function binds to target attributes at cube
@@ -37,8 +38,10 @@ pub enum QueryResult {
     Table(Table),
     /// A sample returned by a cube (paper Query 2), with provenance.
     Sample {
-        /// The materialized sample tuples.
-        table: Table,
+        /// The materialized sample tuples (shared with the serving
+        /// layer's answer cache — repeat queries return the same table
+        /// without re-materializing).
+        table: Arc<Table>,
         /// Whether the sample was local, global, or empty-domain.
         provenance: SampleProvenance,
     },
@@ -73,10 +76,19 @@ impl QueryResult {
     }
 }
 
+/// A cube registered in a session, fronted by its serving layer: sample
+/// queries go through the [`Server`] (compiled predicates, frozen index,
+/// answer cache), while management statements still reach the cube
+/// directly.
+struct ServedCube {
+    cube: Arc<SamplingCube>,
+    server: Server,
+}
+
 /// A SQL session: named tables, registered loss functions, built cubes.
 pub struct Session {
     tables: HashMap<String, Arc<Table>>,
-    cubes: HashMap<String, SamplingCube>,
+    cubes: HashMap<String, ServedCube>,
     losses: HashMap<String, LossDecl>,
     seed: u64,
     serfling: SerflingConfig,
@@ -161,7 +173,13 @@ impl Session {
 
     /// Look up a built cube.
     pub fn cube(&self, name: &str) -> Option<&SamplingCube> {
-        self.cubes.get(name)
+        self.cubes.get(name).map(|entry| entry.cube.as_ref())
+    }
+
+    /// Look up a cube's serving layer (index/cache statistics, manual
+    /// generation installs).
+    pub fn cube_server(&self, name: &str) -> Option<&Server> {
+        self.cubes.get(name).map(|entry| &entry.server)
     }
 
     /// Parse and execute one statement.
@@ -261,22 +279,21 @@ impl Session {
                     }
                 };
                 let stats = cube.stats().clone();
-                self.cubes.insert(name.clone(), cube);
+                let cube = Arc::new(cube);
+                let server = Server::in_registry(Arc::clone(&cube), &self.registry)?;
+                self.cubes.insert(name.clone(), ServedCube { cube, server });
                 Ok(QueryResult::CubeCreated { name, stats })
             }
             Statement::SelectSample { cube, conditions } => {
-                let cube_ref = self
+                let entry = self
                     .cubes
                     .get(&cube)
                     .ok_or(SqlError::Unknown { kind: "cube", name: cube.clone() })?;
                 let pred = predicate_of(&conditions);
                 let q_start = Instant::now();
-                let answer = cube_ref.query(&pred)?;
+                let answer = entry.server.query(&pred)?;
                 self.registry.histogram("query.latency").record_duration(q_start.elapsed());
-                Ok(QueryResult::Sample {
-                    table: answer.materialize(cube_ref.table()),
-                    provenance: answer.provenance,
-                })
+                Ok(QueryResult::Sample { table: answer.table, provenance: answer.provenance })
             }
             Statement::SelectRaw { table, conditions } => {
                 let t = self
@@ -310,7 +327,8 @@ impl Session {
                     ShowKind::Cubes => self
                         .cubes
                         .iter()
-                        .map(|(name, cube)| {
+                        .map(|(name, entry)| {
+                            let cube = &entry.cube;
                             format!(
                                 "{name} | attrs: {} | θ = {} | {} cells | {} samples",
                                 cube.attrs().join(","),
@@ -343,10 +361,11 @@ impl Session {
                 Ok(QueryResult::Info(lines))
             }
             Statement::ExplainCube(name) => {
-                let cube = self
+                let entry = self
                     .cubes
                     .get(&name)
                     .ok_or(SqlError::Unknown { kind: "cube", name: name.clone() })?;
+                let cube = &entry.cube;
                 let s = cube.stats();
                 let m = cube.memory_breakdown();
                 Ok(QueryResult::Info(vec![
@@ -371,6 +390,13 @@ impl Session {
                         m.cube_table_bytes,
                         m.sample_table_bytes,
                         m.total()
+                    ),
+                    format!(
+                        "serving: {} indexed cells | answer cache {} entries ({}B){}",
+                        entry.server.indexed_cells(),
+                        entry.server.cache().len(),
+                        entry.server.cache().bytes(),
+                        if entry.server.cache().is_bypass() { " [bypassed]" } else { "" }
                     ),
                 ]))
             }

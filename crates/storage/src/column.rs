@@ -111,15 +111,25 @@ impl Column {
     }
 
     /// Materialize a new column containing only `rows` (in the given order).
+    ///
+    /// The output vectors are pre-sized to exactly `rows.len()` before the
+    /// gather loop — this sits on the query-serving hot path (every answer
+    /// materialization gathers every column), where incremental growth
+    /// would re-allocate log₂(n) times per column.
     pub fn take(&self, rows: &[u32]) -> Column {
+        #[inline]
+        fn gather<T: Copy>(src: &[T], rows: &[u32]) -> Vec<T> {
+            let mut out = Vec::with_capacity(rows.len());
+            out.extend(rows.iter().map(|&r| src[r as usize]));
+            out
+        }
         match self {
-            Column::Int64(v) => Column::Int64(rows.iter().map(|&r| v[r as usize]).collect()),
-            Column::Float64(v) => Column::Float64(rows.iter().map(|&r| v[r as usize]).collect()),
-            Column::Str { codes, dict } => Column::Str {
-                codes: rows.iter().map(|&r| codes[r as usize]).collect(),
-                dict: dict.clone(),
-            },
-            Column::Point(v) => Column::Point(rows.iter().map(|&r| v[r as usize]).collect()),
+            Column::Int64(v) => Column::Int64(gather(v, rows)),
+            Column::Float64(v) => Column::Float64(gather(v, rows)),
+            Column::Str { codes, dict } => {
+                Column::Str { codes: gather(codes, rows), dict: dict.clone() }
+            }
+            Column::Point(v) => Column::Point(gather(v, rows)),
         }
     }
 

@@ -96,10 +96,43 @@ impl std::fmt::Display for CuboidMask {
 
 /// Identifies one cube cell: for every cubed attribute either a concrete
 /// dictionary code or `None` (the `*` / `(null)` of the paper's tables).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Hash`/`PartialEq` are hand-written hot-path implementations: cube
+/// construction and query serving probe hash maps keyed by `CellKey`
+/// millions of times, and the derived impls hash every `Option`
+/// discriminant byte-by-byte. The manual hash feeds the hasher one word
+/// for the presence mask plus one word per present code — the same
+/// sequence the serving layer's stack-allocated compiled cell hashes, so
+/// the two key forms are interchangeable in Fx-hashed tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellKey {
     /// Per-attribute assignment, aligned with the cubed-attribute order.
     pub codes: Vec<Option<u32>>,
+}
+
+impl PartialEq for CellKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.codes == other.codes
+    }
+}
+
+impl Eq for CellKey {}
+
+impl std::hash::Hash for CellKey {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut mask = 0u32;
+        for (i, c) in self.codes.iter().enumerate() {
+            if c.is_some() {
+                mask |= 1 << i;
+            }
+        }
+        state.write_u32(mask);
+        for c in self.codes.iter().flatten() {
+            state.write_u32(*c);
+        }
+    }
 }
 
 impl CellKey {
@@ -117,6 +150,7 @@ impl CellKey {
     }
 
     /// The cuboid this cell belongs to.
+    #[inline]
     pub fn mask(&self) -> CuboidMask {
         let mut m = 0u32;
         for (i, c) in self.codes.iter().enumerate() {
@@ -152,6 +186,7 @@ impl CellKey {
 
     /// Whether this cell is an ancestor of (or equal to) the finest key
     /// `full` — i.e. `full`'s row group is contained in this cell's group.
+    #[inline]
     pub fn covers(&self, full: &[u32]) -> bool {
         self.codes.iter().zip(full).all(|(c, &f)| c.is_none_or(|c| c == f))
     }
