@@ -19,11 +19,19 @@
 //! table's heap bytes. `TABULA_CACHE_MB=0` (or `TABULA_CACHE_BYPASS=1`)
 //! disables caching entirely.
 //!
-//! **Invalidation** is epoch-based: the server bumps a global `AtomicU64`
-//! when a refresh installs a new cube generation. Entries remember the
-//! epoch they were inserted under; a hit on a stale entry counts as a
-//! miss and removes the entry lazily — invalidation itself is O(1) and
-//! takes no locks.
+//! **Invalidation** is epoch-based, and the epoch an entry is valid
+//! under is supplied by the *caller*, not read from the cache's clock:
+//! every cube generation carries the epoch it was installed under (the
+//! server bumps the cache clock and stamps the generation inside the
+//! same write-lock critical section), and both [`AnswerCache::get`] and
+//! [`AnswerCache::insert`] take that generation epoch explicitly. An
+//! answer computed against generation N can therefore only ever be
+//! inserted and matched under N's epoch — a query that races with a
+//! refresh (reads generation N, inserts after the swap) stamps its entry
+//! N, which no generation-N+1 reader can match, so a refresh can never
+//! leak a stale cached answer. Invalidation itself is O(1) and takes no
+//! locks; mismatched entries are reclaimed lazily when an equal-or-newer
+//! reader trips over them.
 
 use crate::compile::CompiledCell;
 use std::hash::{Hash, Hasher};
@@ -192,10 +200,14 @@ impl AnswerCache {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// Invalidate every cached answer in O(1): entries inserted under
-    /// older epochs are treated as misses and reclaimed lazily.
-    pub fn advance_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+    /// Advance the invalidation clock, returning the new epoch. Entries
+    /// stamped with older epochs are treated as misses and reclaimed
+    /// lazily; the caller stamps the cube generation it is installing
+    /// with the returned value (inside the same critical section as the
+    /// generation swap) so lookups and inserts stay tied to the
+    /// generation they were computed from.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     #[inline]
@@ -208,18 +220,25 @@ impl AnswerCache {
         (h.finish() >> 48) as usize & self.shard_mask
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
-    pub fn get(&self, key: &CompiledCell) -> CacheLookup {
+    /// Look up `key` as seen from the generation installed under
+    /// `epoch`, refreshing the entry's recency on a hit. Only an entry
+    /// stamped with exactly `epoch` is a hit; an older entry is removed
+    /// (lazy reclamation), a newer one — inserted by a reader of a
+    /// fresher generation — is left in place for that generation's
+    /// readers.
+    pub fn get(&self, key: &CompiledCell, epoch: u64) -> CacheLookup {
         if self.is_bypass() {
             return CacheLookup::Bypass;
         }
-        let epoch = self.epoch();
         let mut shard = self.shards[self.shard_for(key)].lock().unwrap();
         let Some(&slot) = shard.map.get(key) else {
             return CacheLookup::Miss;
         };
-        if shard.slab[slot].as_ref().unwrap().epoch != epoch {
-            shard.remove(slot);
+        let entry_epoch = shard.slab[slot].as_ref().unwrap().epoch;
+        if entry_epoch != epoch {
+            if entry_epoch < epoch {
+                shard.remove(slot);
+            }
             return CacheLookup::Miss;
         }
         shard.unlink(slot);
@@ -227,11 +246,25 @@ impl AnswerCache {
         CacheLookup::Hit(shard.slab[slot].as_ref().unwrap().value.clone())
     }
 
-    /// Insert `value` under `key` at the current epoch, evicting LRU
-    /// entries while over capacity. Returns the number of capacity
-    /// evictions performed (stale-epoch reclamations are not counted).
-    pub fn insert(&self, key: CompiledCell, value: CachedAnswer) -> usize {
+    /// Insert `value` under `key`, stamped with the epoch of the
+    /// generation the answer was computed from, evicting LRU entries
+    /// while over capacity. Returns the number of capacity evictions
+    /// performed (stale-epoch reclamations are not counted).
+    ///
+    /// The entry can only ever satisfy a [`get`](AnswerCache::get) that
+    /// passes the same `epoch` — so an insert that races with a
+    /// generation swap parks an entry no reader of the new generation
+    /// can match, rather than poisoning the fresh epoch.
+    pub fn insert(&self, key: CompiledCell, value: CachedAnswer, epoch: u64) -> usize {
         if self.is_bypass() {
+            return 0;
+        }
+        if epoch < self.epoch() {
+            // The caller's generation has already been superseded: the
+            // entry could only serve in-flight stragglers of that
+            // generation, so don't spend capacity on it. Best-effort —
+            // a bump landing after this check is still harmless, since
+            // the stamp below keeps the entry invisible to new readers.
             return 0;
         }
         let bytes = value.bytes();
@@ -239,9 +272,12 @@ impl AnswerCache {
             // Larger than a whole shard: never cacheable.
             return 0;
         }
-        let epoch = self.epoch();
         let mut shard = self.shards[self.shard_for(&key)].lock().unwrap();
         if let Some(&slot) = shard.map.get(&key) {
+            if shard.slab[slot].as_ref().unwrap().epoch > epoch {
+                // A fresher generation already cached this key; keep it.
+                return 0;
+            }
             // Replace in place (same key raced in from another client, or
             // a stale-epoch leftover).
             shard.remove(slot);
@@ -317,16 +353,52 @@ mod tests {
     #[test]
     fn hit_after_insert_and_miss_after_epoch_bump() {
         let cache = AnswerCache::new(1 << 20, 4);
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Miss));
-        cache.insert(key(1), answer(10));
-        match cache.get(&key(1)) {
+        let e0 = cache.epoch();
+        assert!(matches!(cache.get(&key(1), e0), CacheLookup::Miss));
+        cache.insert(key(1), answer(10), e0);
+        match cache.get(&key(1), e0) {
             CacheLookup::Hit(a) => assert_eq!(a.rows.len(), 10),
             _ => panic!("expected hit"),
         }
-        cache.advance_epoch();
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Miss));
+        let e1 = cache.advance_epoch();
+        assert_eq!(e1, e0 + 1);
+        assert!(matches!(cache.get(&key(1), e1), CacheLookup::Miss));
         // Lazy reclamation removed the stale entry.
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn late_insert_stamped_with_old_epoch_never_serves_under_new_epoch() {
+        // The refresh race: a query computed its answer against
+        // generation e0, the swap + bump landed, and only then did the
+        // insert run. The entry must stay invisible to e1 readers.
+        let cache = AnswerCache::new(1 << 20, 1);
+        let e0 = cache.epoch();
+        let e1 = cache.advance_epoch();
+        cache.insert(key(1), answer(10), e0);
+        assert!(matches!(cache.get(&key(1), e1), CacheLookup::Miss));
+        // (The best-effort freshness check refused the insert outright.)
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn old_generation_reader_misses_but_does_not_reclaim_fresh_entries() {
+        // The mirror race: a straggler still holding generation e0 probes
+        // a key a fresher reader already cached under e1. It must miss —
+        // its answer would come from a different generation — without
+        // destroying the entry the e1 readers rely on.
+        let cache = AnswerCache::new(1 << 20, 1);
+        let e0 = cache.epoch();
+        let e1 = cache.advance_epoch();
+        cache.insert(key(2), answer(10), e1);
+        assert!(matches!(cache.get(&key(2), e0), CacheLookup::Miss));
+        assert!(matches!(cache.get(&key(2), e1), CacheLookup::Hit(_)));
+        // And a straggler's insert must not clobber the fresher entry.
+        cache.insert(key(2), answer(3), e0);
+        match cache.get(&key(2), e1) {
+            CacheLookup::Hit(a) => assert_eq!(a.rows.len(), 10),
+            _ => panic!("fresh entry must survive the stale insert"),
+        }
     }
 
     #[test]
@@ -334,17 +406,18 @@ mod tests {
         // Single shard, capacity for ~3 small answers.
         let per = answer(10).bytes();
         let cache = AnswerCache::new(per * 3, 1);
-        cache.insert(key(1), answer(10));
-        cache.insert(key(2), answer(10));
-        cache.insert(key(3), answer(10));
+        let e = cache.epoch();
+        cache.insert(key(1), answer(10), e);
+        cache.insert(key(2), answer(10), e);
+        cache.insert(key(3), answer(10), e);
         // Touch key 1 so key 2 becomes LRU.
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Hit(_)));
-        let evicted = cache.insert(key(4), answer(10));
+        assert!(matches!(cache.get(&key(1), e), CacheLookup::Hit(_)));
+        let evicted = cache.insert(key(4), answer(10), e);
         assert_eq!(evicted, 1);
-        assert!(matches!(cache.get(&key(2)), CacheLookup::Miss));
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Hit(_)));
-        assert!(matches!(cache.get(&key(3)), CacheLookup::Hit(_)));
-        assert!(matches!(cache.get(&key(4)), CacheLookup::Hit(_)));
+        assert!(matches!(cache.get(&key(2), e), CacheLookup::Miss));
+        assert!(matches!(cache.get(&key(1), e), CacheLookup::Hit(_)));
+        assert!(matches!(cache.get(&key(3), e), CacheLookup::Hit(_)));
+        assert!(matches!(cache.get(&key(4), e), CacheLookup::Hit(_)));
         assert!(cache.bytes() <= per * 3);
     }
 
@@ -352,8 +425,8 @@ mod tests {
     fn zero_capacity_bypasses() {
         let cache = AnswerCache::new(0, 8);
         assert!(cache.is_bypass());
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Bypass));
-        cache.insert(key(1), answer(10));
+        assert!(matches!(cache.get(&key(1), 0), CacheLookup::Bypass));
+        cache.insert(key(1), answer(10), 0);
         assert!(cache.is_empty());
     }
 
@@ -361,12 +434,13 @@ mod tests {
     fn oversized_entry_is_refused_without_eviction() {
         let small = answer(2).bytes();
         let cache = AnswerCache::new(small, 1);
-        cache.insert(key(1), answer(2));
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Hit(_)));
+        let e = cache.epoch();
+        cache.insert(key(1), answer(2), e);
+        assert!(matches!(cache.get(&key(1), e), CacheLookup::Hit(_)));
         // A giant entry must not wipe the shard just to fail anyway.
-        assert_eq!(cache.insert(key(2), answer(10_000)), 0);
-        assert!(matches!(cache.get(&key(1)), CacheLookup::Hit(_)));
-        assert!(matches!(cache.get(&key(2)), CacheLookup::Miss));
+        assert_eq!(cache.insert(key(2), answer(10_000), e), 0);
+        assert!(matches!(cache.get(&key(1), e), CacheLookup::Hit(_)));
+        assert!(matches!(cache.get(&key(2), e), CacheLookup::Miss));
     }
 
     #[test]
@@ -377,11 +451,14 @@ mod tests {
                 let cache = Arc::clone(&cache);
                 s.spawn(move || {
                     for i in 0..500u32 {
+                        // Each iteration models a query pinned to the
+                        // generation (epoch) it observed at its start.
+                        let e = cache.epoch();
                         let k = key((t * 7 + i) % 32);
-                        match cache.get(&k) {
+                        match cache.get(&k, e) {
                             CacheLookup::Hit(a) => assert_eq!(a.rows.len(), 5),
                             _ => {
-                                cache.insert(k, answer(5));
+                                cache.insert(k, answer(5), e);
                             }
                         }
                         if i % 100 == 99 && t == 0 {
@@ -392,8 +469,9 @@ mod tests {
             }
         });
         // All remaining entries must be coherent.
+        let e = cache.epoch();
         for c in 0..32 {
-            if let CacheLookup::Hit(a) = cache.get(&key(c)) {
+            if let CacheLookup::Hit(a) = cache.get(&key(c), e) {
                 assert_eq!(a.rows.len(), 5);
                 assert_eq!(a.table.len(), 5);
             }

@@ -5,10 +5,14 @@
 //! takes a single `RwLock` read acquisition (to clone the generation
 //! `Arc`), then runs entirely on immutable data: compile the predicate on
 //! the stack, probe the cache, on a miss probe the frozen index and
-//! materialize. Installing a refreshed cube swaps the generation pointer
-//! under the write lock and bumps the cache epoch, so in-flight queries
-//! finish against the generation they started with and no stale cached
-//! answer survives the swap.
+//! materialize. Each generation carries the cache epoch it was installed
+//! under — the bump and the pointer swap happen inside the same
+//! write-lock critical section, and every cache probe and insert passes
+//! the *generation's* epoch rather than re-reading the cache clock. That
+//! pins each answer to the generation that computed it: an in-flight
+//! query that races with a refresh can only insert under its own (old)
+//! generation's epoch, which no reader of the new generation can match,
+//! so no stale cached answer survives the swap.
 //!
 //! Answers are byte-identical to [`SamplingCube::query`] at any thread
 //! count and cache size: the index probe replicates the cube table lookup
@@ -56,8 +60,9 @@ impl ServeMetrics {
     }
 }
 
-/// One immutable cube generation: the cube plus its frozen index and a
-/// pre-materialized empty answer table.
+/// One immutable cube generation: the cube plus its frozen index, a
+/// pre-materialized empty answer table, and the cache epoch the
+/// generation was installed under.
 #[derive(Debug)]
 struct Generation {
     cube: Arc<SamplingCube>,
@@ -65,15 +70,20 @@ struct Generation {
     attrs: Vec<String>,
     cols: Vec<usize>,
     empty: Arc<Table>,
+    /// Cache epoch this generation is valid under. Stamped inside the
+    /// same write-lock critical section that swaps the generation in, so
+    /// answers computed from this generation can only ever be cached and
+    /// matched under this epoch — never under a later generation's.
+    epoch: u64,
 }
 
 impl Generation {
-    fn build(cube: Arc<SamplingCube>) -> Result<Self> {
+    fn build(cube: Arc<SamplingCube>, epoch: u64) -> Result<Self> {
         let index = ServeIndex::build(&cube)?;
         let attrs = cube.attrs().to_vec();
         let cols = cube.cubed_cols().to_vec();
         let empty = Arc::new(cube.table().take(&[]));
-        Ok(Generation { cube, index, attrs, cols, empty })
+        Ok(Generation { cube, index, attrs, cols, empty, epoch })
     }
 }
 
@@ -122,8 +132,9 @@ impl Server {
         cache: AnswerCache,
         registry: Arc<Registry>,
     ) -> Result<Self> {
+        let generation = Arc::new(Generation::build(cube, cache.epoch())?);
         Ok(Server {
-            generation: RwLock::new(Arc::new(Generation::build(cube)?)),
+            generation: RwLock::new(generation),
             cache,
             metrics: ServeMetrics::in_registry(&registry),
             registry,
@@ -165,7 +176,7 @@ impl Server {
                 cached: false,
             });
         };
-        match self.cache.get(&cell) {
+        match self.cache.get(&cell, generation.epoch) {
             CacheLookup::Hit(hit) => {
                 self.metrics.hits.inc();
                 cube.provenance_counters().record_serve_cache_hit();
@@ -187,6 +198,7 @@ impl Server {
                             provenance: answer.provenance,
                             table: Arc::clone(&answer.table),
                         },
+                        generation.epoch,
                     );
                     if evicted > 0 {
                         self.metrics.evictions.add(evicted as u64);
@@ -217,12 +229,19 @@ impl Server {
         ServeAnswer { rows, provenance, table, cached: false }
     }
 
-    /// Install a new cube generation: freeze its index, swap it in, and
-    /// invalidate every cached answer (epoch bump — O(1), no cache locks).
+    /// Install a new cube generation: freeze its index, then — inside
+    /// one write-lock critical section — bump the cache epoch, stamp the
+    /// generation with it, and swap it in. The atomic pairing is what
+    /// keeps the cache sound: queries pin the (generation, epoch) pair
+    /// they observed, so an answer computed against the old generation
+    /// can never be cached or served as a new-generation answer.
     pub fn install(&self, cube: Arc<SamplingCube>) -> Result<()> {
-        let generation = Arc::new(Generation::build(cube)?);
-        *self.generation.write().unwrap() = generation;
-        self.cache.advance_epoch();
+        // Index freezing is the expensive part; do it before taking the
+        // lock so readers keep serving the old generation meanwhile.
+        let mut generation = Generation::build(cube, 0)?;
+        let mut slot = self.generation.write().unwrap();
+        generation.epoch = self.cache.advance_epoch();
+        *slot = Arc::new(generation);
         Ok(())
     }
 
@@ -363,6 +382,49 @@ mod tests {
         // Reinstall the same cube: epoch bump must force recomputation.
         let same = srv.cube();
         srv.install(same).unwrap();
+        assert!(!srv.query(&pred).unwrap().cached);
+        assert!(srv.query(&pred).unwrap().cached);
+    }
+
+    #[test]
+    fn generation_epoch_tracks_cache_epoch_across_installs() {
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        for _ in 0..3 {
+            let generation = Arc::clone(&srv.generation.read().unwrap());
+            assert_eq!(generation.epoch, srv.cache.epoch());
+            srv.install(srv.cube()).unwrap();
+        }
+    }
+
+    #[test]
+    fn late_insert_from_superseded_generation_is_never_served() {
+        // Deterministic replay of the refresh race: a query reads
+        // generation N, the install (swap + epoch bump) lands, and only
+        // then does the query's cache insert run. The entry carries N's
+        // epoch, so readers of generation N+1 must recompute, never see
+        // the stale answer.
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        let pred = Predicate::eq("M", "dispute");
+        // An in-flight query pins generation N and computes its answer...
+        let stalled = Arc::clone(&srv.generation.read().unwrap());
+        let cell = compile_predicate(stalled.cube.table(), &stalled.attrs, &stalled.cols, &pred)
+            .unwrap()
+            .unwrap();
+        let answer = srv.compute(&stalled, &cell);
+        // ...the refresh installs generation N+1 before the insert...
+        srv.install(srv.cube()).unwrap();
+        srv.cache.insert(
+            cell,
+            CachedAnswer {
+                rows: Arc::clone(&answer.rows),
+                provenance: answer.provenance,
+                table: Arc::clone(&answer.table),
+            },
+            stalled.epoch,
+        );
+        // ...and the next query must miss the cache and recompute.
         assert!(!srv.query(&pred).unwrap().cached);
         assert!(srv.query(&pred).unwrap().cached);
     }

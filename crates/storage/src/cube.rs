@@ -122,10 +122,16 @@ impl Eq for CellKey {}
 impl std::hash::Hash for CellKey {
     #[inline]
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Keys the cube builds carry ≤ 32 codes (the `CuboidMask`
+        // ceiling), but `CellKey` is a public (de)serializable type, so
+        // over-long keys must hash without shift overflow: `i & 31`
+        // aliases presence bits past position 31 onto the low word —
+        // a possible collision there, never a panic. Equal keys still
+        // hash equal (eq compares the full code vector).
         let mut mask = 0u32;
         for (i, c) in self.codes.iter().enumerate() {
             if c.is_some() {
-                mask |= 1 << i;
+                mask |= 1 << (i & 31);
             }
         }
         state.write_u32(mask);
