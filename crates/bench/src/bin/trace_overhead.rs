@@ -1,0 +1,225 @@
+//! Overhead gate for the query-tracing layer (`tabula-obs::trace`).
+//!
+//! The tracing tentpole promises that *disabled* tracing costs at most
+//! one relaxed atomic load per query on the serve path. This benchmark
+//! holds that promise to a number: it replays a warm-cache dashboard
+//! session through four tracer modes and fails (exit code 1) if the
+//! disabled mode's throughput falls more than 3% below the no-trace
+//! baseline measured in the same run:
+//!
+//! 1. **baseline** — `Server::query_traced` with a pre-built disabled
+//!    trace: the raw serve path, no `Tracer::begin`/`finish` machinery;
+//! 2. **disabled** — `Server::query` with `sample = 0`: the production
+//!    off-path (one relaxed load in `begin`, one branch in `finish`);
+//! 3. **sampled** — `sample = 64` (1-in-64 queries fully traced);
+//! 4. **full** — `sample = 1` (every query traced and recorded).
+//!
+//! Modes are measured in interleaved rounds; the gate compares the
+//! disabled/baseline ratio *within* each round (back-to-back sweeps, so
+//! ambient noise cancels) and takes the best round. The printed table
+//! reports best-of qps per mode. Emits `BENCH_trace_overhead.json` via
+//! the standard run summary.
+//!
+//! Run with `cargo run --release -p tabula-bench --bin trace_overhead`
+//! (`--quick` shrinks the dataset for CI; `--clients N` overrides the
+//! client-thread count, default 8).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tabula_bench::{default_rows, taxi_table, write_run_summary, SEED};
+use tabula_core::loss::MeanLoss;
+use tabula_core::{MaterializationMode, SamplingCube, SamplingCubeBuilder};
+use tabula_data::{QueryCell, Workload, CUBED_ATTRIBUTES};
+use tabula_obs::trace::{QueryTrace, Tracer};
+use tabula_obs::Registry;
+use tabula_par::Pool;
+use tabula_serve::{AnswerCache, Server};
+
+/// Revisit probability of the zoom/pan session generator (same shape as
+/// `serve_bench`, so the warm cache absorbs most queries).
+const REVISIT: f64 = 0.4;
+
+/// Per-client offset stride so concurrent clients interleave probes.
+const CLIENT_STRIDE: usize = 37;
+
+/// Maximum tolerated throughput loss of disabled-mode tracing vs the
+/// no-trace baseline.
+const MAX_REGRESSION: f64 = 0.03;
+
+struct Args {
+    quick: bool,
+    clients: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, clients: 8 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--clients needs a positive integer"));
+                assert!(args.clients > 0, "--clients needs a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (expected --quick / --clients N)"),
+        }
+    }
+    args
+}
+
+/// One closed-loop sweep: every client replays the session `passes`
+/// times. Warm-cache queries finish in well under a microsecond, so a
+/// single session pass measures ~1 ms — far too short to compare modes
+/// within 3%; the repeats stretch each measured interval into the tens
+/// of milliseconds where scheduler jitter averages out. Returns (qps,
+/// sample rows shipped per single pass).
+fn sweep<F>(pool: &Pool, clients: usize, queries: &[QueryCell], passes: usize, f: F) -> (f64, u64)
+where
+    F: Fn(&QueryCell) -> usize + Sync,
+{
+    let started = Instant::now();
+    let shipped: u64 = pool
+        .run(clients, |c| {
+            let mut shipped = 0u64;
+            for p in 0..passes {
+                for i in 0..queries.len() {
+                    let q = &queries[(i + (c + p) * CLIENT_STRIDE) % queries.len()];
+                    shipped += f(q) as u64;
+                }
+            }
+            shipped
+        })
+        .into_iter()
+        .sum();
+    let secs = started.elapsed().as_secs_f64();
+    ((clients * queries.len() * passes) as f64 / secs, shipped / passes as u64)
+}
+
+fn main() {
+    let args = parse_args();
+    let rows = if args.quick { 4_000 } else { default_rows() };
+    let n_queries = if args.quick { 200 } else { 800 };
+    let rounds = 5;
+    let passes = if args.quick { 128 } else { 32 };
+    let attrs = &CUBED_ATTRIBUTES[..3];
+
+    println!(
+        "trace_overhead: {rows} rows, {n_queries}-query session × {passes} passes, \
+         {} clients, best of {rounds} rounds{}",
+        args.clients,
+        if args.quick { " [quick]" } else { "" }
+    );
+
+    let table = taxi_table(rows);
+    let registry = Arc::new(Registry::new());
+    let fare = table.schema().index_of("fare_amount").expect("taxi schema has fare_amount");
+    let cube: Arc<SamplingCube> = Arc::new(
+        SamplingCubeBuilder::new(Arc::clone(&table), attrs, MeanLoss::new(fare), 0.05)
+            .seed(SEED)
+            .mode(MaterializationMode::Tabula)
+            .build()
+            .expect("cube build succeeds")
+            .with_registry(&registry),
+    );
+    let queries = Workload::new(attrs)
+        .generate_session(&table, n_queries, SEED ^ 0x5E55, REVISIT)
+        .expect("session generation succeeds");
+
+    let tracer = Arc::new(Tracer::new(0, 1_000, 256));
+    let srv = Server::with_cache(Arc::clone(&cube), AnswerCache::from_env(), Arc::clone(&registry))
+        .expect("server build succeeds")
+        .with_tracer(Arc::clone(&tracer));
+    let pool = Pool::with_threads(args.clients);
+
+    // Warm the answer cache once so every measured sweep is pure cache
+    // hits — the regime where per-query fixed costs dominate and tracing
+    // overhead is most visible.
+    let (_, warm_rows) =
+        sweep(&pool, args.clients, &queries, 1, |q| srv.query(&q.predicate).unwrap().table.len());
+
+    // (mode name, tracer sample rate; None = bypass the tracer entirely.)
+    let modes: [(&str, Option<u32>); 4] =
+        [("baseline", None), ("disabled", Some(0)), ("sampled", Some(64)), ("full", Some(1))];
+    let mut best = [0.0f64; 4];
+    // Best per-round disabled/baseline ratio: the two sweeps of one round
+    // run back to back, so slow background noise (CI neighbours, thermal
+    // drift) hits both and cancels in the ratio, where it would skew a
+    // comparison of bests taken from different rounds.
+    let mut best_ratio = 0.0f64;
+    for round in 0..rounds {
+        let mut round_qps = [0.0f64; 4];
+        for (m, &(name, sample)) in modes.iter().enumerate() {
+            let (qps, shipped) = match sample {
+                None => sweep(&pool, args.clients, &queries, passes, |q| {
+                    srv.query_traced(&q.predicate, &mut QueryTrace::disabled()).unwrap().table.len()
+                }),
+                Some(s) => {
+                    tracer.set_sample(s);
+                    sweep(&pool, args.clients, &queries, passes, |q| {
+                        srv.query(&q.predicate).unwrap().table.len()
+                    })
+                }
+            };
+            assert_eq!(shipped, warm_rows, "{name} round {round} shipped different sample rows");
+            round_qps[m] = qps;
+            if qps > best[m] {
+                best[m] = qps;
+            }
+        }
+        best_ratio = best_ratio.max(round_qps[1] / round_qps[0]);
+    }
+    tracer.set_sample(0);
+
+    let [qps_baseline, qps_disabled, qps_sampled, qps_full] = best;
+    println!();
+    println!("{:<10} {:>12} {:>10}", "mode", "qps", "vs base");
+    for (m, &(name, _)) in modes.iter().enumerate() {
+        println!("{:<10} {:>12.0} {:>9.1}%", name, best[m], 100.0 * best[m] / qps_baseline);
+    }
+    println!(
+        "\nflight recorder: {} traces retained (full mode), slow threshold {} ms",
+        tracer.recorder().len(),
+        1_000
+    );
+
+    use serde::Value;
+    let ratio = best_ratio;
+    let path = write_run_summary(
+        "trace_overhead",
+        &registry.snapshot(),
+        &[
+            ("client_threads", Value::Int(args.clients as i128)),
+            ("session_queries", Value::Int(queries.len() as i128)),
+            ("rounds", Value::Int(rounds as i128)),
+            ("quick", Value::Bool(args.quick)),
+            ("qps_baseline", Value::Float(qps_baseline)),
+            ("qps_disabled", Value::Float(qps_disabled)),
+            ("qps_sampled", Value::Float(qps_sampled)),
+            ("qps_full", Value::Float(qps_full)),
+            ("disabled_over_baseline", Value::Float(ratio)),
+            ("max_regression", Value::Float(MAX_REGRESSION)),
+            ("pass", Value::Bool(ratio >= 1.0 - MAX_REGRESSION)),
+        ],
+    )
+    .expect("run summary written");
+    println!("summary: {}", path.display());
+
+    if ratio < 1.0 - MAX_REGRESSION {
+        eprintln!(
+            "FAIL: disabled-mode tracing reached only {:.1}% of the no-trace baseline \
+             (floor {:.1}%)",
+            ratio * 100.0,
+            (1.0 - MAX_REGRESSION) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: disabled-mode tracing at {:.1}% of the no-trace baseline (floor {:.1}%)",
+        ratio * 100.0,
+        (1.0 - MAX_REGRESSION) * 100.0
+    );
+}

@@ -416,6 +416,105 @@ fn check_serve(
             return Err(d);
         }
     }
+    check_serve_traces(case, &cube, mode)
+}
+
+/// The trace-agreement lane: replay the workload sequentially through a
+/// fully-traced private server (cold pass, then warm pass) and require
+/// each query's [`tabula_obs::trace::CompletedTrace`] to agree exactly
+/// with the cube's [`tabula_obs::ProvenanceCounters`] delta — the
+/// counters are the accounting ground truth, the trace is the per-query
+/// narrative, and they must never tell different stories. A cache hit
+/// must additionally record no index/materialize/scan stages.
+fn check_serve_traces(
+    case: &CaseSpec,
+    cube: &Arc<SamplingCube>,
+    mode: MaterializationMode,
+) -> Result<(), Divergence> {
+    use tabula_obs::trace::{Stage, TraceProvenance, Tracer};
+    // Private registry: re-homing the cube clone gives this lane its own
+    // provenance counters, so concurrent fuzz cases cannot skew deltas.
+    let registry = Arc::new(tabula_obs::Registry::new());
+    let cube = Arc::new(cube.as_ref().clone().with_registry(&registry));
+    let counters = cube.provenance_counters().clone();
+    let tracer = Arc::new(Tracer::new(1, u64::MAX >> 21, case.queries.len() * 2 + 8));
+    let server =
+        Server::with_cache(Arc::clone(&cube), AnswerCache::new(8 << 20, 4), Arc::clone(&registry))
+            .map_err(|e| Divergence {
+                check: "serve_build",
+                detail: format!("{mode:?}: traced serving index build failed: {e:?}"),
+            })?
+            .with_tracer(Arc::clone(&tracer));
+
+    for pass in 0..2 {
+        for (j, q) in case.queries.iter().enumerate() {
+            let mut pred = Predicate::all();
+            for (column, value) in q {
+                pred = pred.and(column.clone(), CmpOp::Eq, value.clone());
+            }
+            let before = (
+                counters.local_hits(),
+                counters.global_hits(),
+                counters.cell_misses(),
+                counters.serve_cache_hits(),
+            );
+            server.query(&pred).map_err(|e| Divergence {
+                check: "serve_query",
+                detail: format!("{mode:?} traced pass={pass} query {j}: {e:?}"),
+            })?;
+            let trace = tracer.recorder().recent().pop().ok_or_else(|| Divergence {
+                check: "trace_provenance",
+                detail: format!(
+                    "{mode:?} pass={pass} query {q:?}: full-sampling tracer recorded no trace"
+                ),
+            })?;
+            let delta = (
+                counters.local_hits() - before.0,
+                counters.global_hits() - before.1,
+                counters.cell_misses() - before.2,
+                counters.serve_cache_hits() - before.3,
+            );
+            let expected = match trace.provenance {
+                TraceProvenance::LocalDirect | TraceProvenance::LocalSorted => (1, 0, 0, 0),
+                TraceProvenance::GlobalSample => (0, 1, 0, 0),
+                TraceProvenance::EmptyDomain => (0, 0, 1, 0),
+                TraceProvenance::CacheHit => (0, 0, 0, 1),
+                other => {
+                    return Err(Divergence {
+                        check: "trace_provenance",
+                        detail: format!(
+                            "{mode:?} pass={pass} query {q:?}: served trace carries \
+                             non-serve provenance {other:?}"
+                        ),
+                    })
+                }
+            };
+            if delta != expected {
+                return Err(Divergence {
+                    check: "trace_provenance",
+                    detail: format!(
+                        "{mode:?} pass={pass} query {q:?}: trace says {:?} but counter delta \
+                         is (local, global, miss, cache)={delta:?}, expected {expected:?}",
+                        trace.provenance
+                    ),
+                });
+            }
+            if trace.provenance == TraceProvenance::CacheHit
+                && (trace.stage_ns(Stage::IndexProbe).is_some()
+                    || trace.stage_ns(Stage::Materialize).is_some()
+                    || trace.stage_ns(Stage::Scan).is_some())
+            {
+                return Err(Divergence {
+                    check: "trace_stages",
+                    detail: format!(
+                        "{mode:?} pass={pass} query {q:?}: cache hit recorded probe/scan \
+                         stages: {:?}",
+                        trace.stages
+                    ),
+                });
+            }
+        }
+    }
     Ok(())
 }
 

@@ -3,11 +3,11 @@
 //! Both are written with plain `std` string building — the obs crate stays
 //! dependency-free so it can sit below every other crate in the workspace.
 
-use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::metrics::{bucket_hi, bucket_index, HistogramSnapshot, MetricsSnapshot};
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -64,15 +64,38 @@ impl MetricsSnapshot {
             }
             let _ = write!(out, "\"{}\":{}", json_escape(k), histogram_json(v));
         }
-        out.push_str("}}");
+        out.push('}');
+        // Sliding windows are additive: snapshots without them render exactly
+        // as before this section existed.
+        if !self.windows.is_empty() {
+            out.push_str(",\"windows\":{");
+            for (i, (k, w)) in self.windows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"window_secs\":{},\"hist\":{}}}",
+                    json_escape(k),
+                    w.window_secs,
+                    histogram_json(&w.hist)
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
     /// Render the snapshot in the Prometheus text exposition format.
     ///
     /// Metric names are sanitized (`.` and `-` become `_`) and prefixed with
-    /// `tabula_`; histograms are exposed as summaries with `quantile` labels
-    /// plus `_sum` (in seconds) and `_count` series.
+    /// `tabula_`; histograms are exposed as native Prometheus histograms with
+    /// cumulative `_bucket{le="…"}` series (so real scrapers can compute
+    /// `histogram_quantile`) plus `_sum` (in seconds) and `_count`. Sliding
+    /// windows export as `_window` gauges with `quantile` and `window_s`
+    /// labels — a scraper cannot integrate a sliding window itself, so the
+    /// precomputed quantiles are the honest representation.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (k, v) in &self.counters {
@@ -87,15 +110,41 @@ impl MetricsSnapshot {
         }
         for (k, h) in &self.histograms {
             let name = prom_name(k);
-            let _ = writeln!(out, "# TYPE {name} summary");
-            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
-                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", ns_to_secs(v));
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate().take(last_bucket(h) + 1) {
+                cumulative += c;
+                let le = ns_to_secs(bucket_hi(i).saturating_sub(1));
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
             }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", ns_to_secs(h.sum_ns));
             let _ = writeln!(out, "{name}_count {}", h.count);
         }
+        for (k, w) in &self.windows {
+            let name = prom_name(k);
+            let h = &w.hist;
+            let _ = writeln!(out, "# TYPE {name}_window gauge");
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                let _ = writeln!(
+                    out,
+                    "{name}_window{{quantile=\"{q}\",window_s=\"{}\"}} {}",
+                    w.window_secs,
+                    ns_to_secs(v)
+                );
+            }
+            let _ =
+                writeln!(out, "{name}_window_count{{window_s=\"{}\"}} {}", w.window_secs, h.count);
+        }
         out
     }
+}
+
+/// Index of the highest bucket a scraper needs: the one holding `max_ns`
+/// (so the `le` ladder always covers the whole recorded range without
+/// emitting 64 lines for an empty tail).
+fn last_bucket(h: &HistogramSnapshot) -> usize {
+    bucket_index(h.max_ns)
 }
 
 fn prom_name(name: &str) -> String {
@@ -142,9 +191,54 @@ mod tests {
         let text = r.snapshot().to_prometheus();
         assert!(text.contains("# TYPE tabula_query_global_hit counter"), "{text}");
         assert!(text.contains("tabula_query_global_hit 7"), "{text}");
-        assert!(text.contains("# TYPE tabula_query_latency summary"), "{text}");
+        assert!(text.contains("# TYPE tabula_query_latency histogram"), "{text}");
         assert!(text.contains("tabula_query_latency_count 1"), "{text}");
-        assert!(text.contains("quantile=\"0.99\""), "{text}");
+        assert!(text.contains("tabula_query_latency_bucket{le=\"+Inf\"} 1"), "{text}");
         assert!(text.contains("tabula_query_latency_sum 2.000000000"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_cover_max() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        h.record(1_000); // bucket 9 ([512, 1024))
+        h.record(1_500); // bucket 10
+        h.record(1_500);
+        let text = r.snapshot().to_prometheus();
+        // Bucket upper bound 1023 ns holds the first sample only; 2047 ns
+        // (bucket 10) must be cumulative.
+        assert!(text.contains("tabula_lat_bucket{le=\"0.000001023\"} 1"), "{text}");
+        assert!(text.contains("tabula_lat_bucket{le=\"0.000002047\"} 3"), "{text}");
+        assert!(text.contains("tabula_lat_bucket{le=\"+Inf\"} 3"), "{text}");
+        // The le ladder stops at the bucket holding max_ns: no 64-line tails.
+        assert!(!text.contains("le=\"0.000004095\""), "{text}");
+        // Cumulative counts never decrease down the ladder.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("tabula_lat_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn windows_export_in_json_and_prometheus() {
+        let r = Registry::new();
+        r.window("serve.query_ns").record(5_000);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"windows\":{\"serve.query_ns\":{\"window_secs\":60"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE tabula_serve_query_ns_window gauge"), "{text}");
+        assert!(text.contains("window_s=\"60\""), "{text}");
+        assert!(text.contains("tabula_serve_query_ns_window_count{window_s=\"60\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn json_without_windows_has_no_windows_section() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        assert!(!r.snapshot().to_json().contains("windows"));
     }
 }

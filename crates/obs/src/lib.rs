@@ -15,6 +15,11 @@
 //!   Prometheus text exporters.
 //! * **Provenance** ([`ProvenanceCounters`]): where did each query answer come
 //!   from — local cell sample, global-sample fallback, or empty cell.
+//! * **Tracing** ([`Tracer`], [`QueryTrace`], [`FlightRecorder`]): request-
+//!   scoped per-stage traces with a slow-query flight recorder, plus
+//!   sliding-window histograms ([`WindowedHistogram`]) for "p99 over the
+//!   last 60 s" questions. Disabled tracing costs one relaxed atomic load
+//!   per query.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -40,6 +45,8 @@ pub mod metrics;
 pub mod provenance;
 pub mod span;
 pub mod timing;
+pub mod trace;
+pub mod window;
 
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
@@ -50,3 +57,7 @@ pub use span::{
     SpanRecord, Subscriber,
 };
 pub use timing::PhaseTimer;
+pub use trace::{
+    CompletedTrace, FlightRecorder, QueryTrace, Stage, StageRecord, TraceProvenance, Tracer,
+};
+pub use window::{WindowSnapshot, WindowedHistogram};

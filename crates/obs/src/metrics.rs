@@ -6,6 +6,7 @@
 //! when taking a [`MetricsSnapshot`], both of which are cold operations —
 //! callers on hot paths resolve their `Arc` handle once and keep it.
 
+use crate::window::{WindowSnapshot, WindowedHistogram, DEFAULT_WINDOW_SECS};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -236,6 +237,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    windows: RwLock<BTreeMap<String, Arc<WindowedHistogram>>>,
 }
 
 impl Registry {
@@ -270,6 +272,26 @@ impl Registry {
         Arc::clone(w.entry(name.to_string()).or_default())
     }
 
+    /// Get or create the sliding-window histogram named `name` with the
+    /// default 60 s window (see [`window_with_secs`](Self::window_with_secs)).
+    pub fn window(&self, name: &str) -> Arc<WindowedHistogram> {
+        self.window_with_secs(name, DEFAULT_WINDOW_SECS)
+    }
+
+    /// Get or create the sliding-window histogram named `name`. The window
+    /// length only applies on creation; later calls return the existing
+    /// window whatever its length.
+    pub fn window_with_secs(&self, name: &str, window_secs: u64) -> Arc<WindowedHistogram> {
+        if let Some(w) = self.windows.read().unwrap().get(name) {
+            return Arc::clone(w);
+        }
+        let mut w = self.windows.write().unwrap();
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(WindowedHistogram::new(window_secs))),
+        )
+    }
+
     /// Point-in-time snapshot of every metric in the registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters =
@@ -283,11 +305,22 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        MetricsSnapshot { counters, gauges, histograms }
+        let windows = self
+            .windows
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                (k.clone(), WindowSnapshot { window_secs: v.window_secs(), hist: v.snapshot() })
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms, windows }
     }
 
-    /// Reset every counter and drop every histogram's samples. Gauges keep
-    /// their last value (they describe current state, not accumulation).
+    /// Reset every counter and drop every histogram's and window's samples.
+    /// Gauges keep their last value (they describe current state, not
+    /// accumulation). Benches and the diff engine call this between phases
+    /// to isolate per-phase counters instead of diffing cumulative snapshots.
     pub fn reset(&self) {
         for c in self.counters.read().unwrap().values() {
             c.reset();
@@ -295,6 +328,9 @@ impl Registry {
         let mut h = self.histograms.write().unwrap();
         for v in h.values_mut() {
             *v = Arc::new(Histogram::new());
+        }
+        for w in self.windows.read().unwrap().values() {
+            w.reset();
         }
     }
 }
@@ -306,6 +342,9 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, i64>,
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Sliding-window histograms (see [`WindowedHistogram`]), keyed like
+    /// `histograms`; a name may appear in both maps.
+    pub windows: BTreeMap<String, WindowSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -399,11 +438,25 @@ mod tests {
         r.counter("c").add(5);
         r.histogram("h").record(123);
         r.gauge("g").set(9);
+        r.window("w").record(77);
         r.reset();
         let s = r.snapshot();
         assert_eq!(s.counter("c"), 0);
         assert_eq!(s.histograms["h"].count, 0);
         assert_eq!(s.gauges["g"], 9);
+        assert_eq!(s.windows["w"].hist.count, 0);
+    }
+
+    #[test]
+    fn registry_window_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.window("w");
+        let b = r.window_with_secs("w", 10); // existing wins, length ignored
+        a.record(100);
+        b.record(200);
+        let s = r.snapshot();
+        assert_eq!(s.windows["w"].window_secs, crate::window::DEFAULT_WINDOW_SECS);
+        assert_eq!(s.windows["w"].hist.count, 2);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Sliding-window histograms: "what is p99 over the last N seconds?".
+//!
+//! The cumulative [`Histogram`](crate::Histogram) answers lifetime questions;
+//! operators watching a dashboard need *current* latency. A
+//! [`WindowedHistogram`] keeps one log₂-bucketed histogram per one-second
+//! slot in a ring of `window_secs + 1` slots. Recording stamps the slot with
+//! the current absolute second (CAS-claimed; the winner zeroes the slot's
+//! buckets on rollover) and then does the same three relaxed `fetch_add`s as
+//! the cumulative histogram. A snapshot merges every slot whose stamp falls
+//! inside the window into an ordinary [`HistogramSnapshot`], so all the
+//! quantile machinery is reused unchanged.
+//!
+//! The rollover reset is best-effort: a recorder racing the slot winner
+//! across a second boundary can lose or double-count a handful of samples.
+//! Windows feed operator dashboards, not accounting invariants, so this is
+//! the right trade for a lock-free hot path.
+
+use crate::metrics::{bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default window length for registry-created windows.
+pub const DEFAULT_WINDOW_SECS: u64 = 60;
+
+/// Widest supported window; keeps the slot ring's footprint bounded
+/// (~520 B per slot).
+pub const MAX_WINDOW_SECS: u64 = 600;
+
+/// Seconds since the process-wide epoch (first use of any window).
+fn now_secs() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs()
+}
+
+/// One second's worth of samples. `stamp` holds `absolute_second + 1`
+/// (0 = never used) so a freshly zeroed ring is distinguishable from second 0.
+struct Slot {
+    stamp: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            stamp: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn zero(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A latency histogram that only remembers the last `window_secs` seconds.
+pub struct WindowedHistogram {
+    window_secs: u64,
+    /// `window_secs + 1` slots: the extra slot lets the current second be
+    /// claimed while the slot falling out of the window is still readable.
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for WindowedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedHistogram").field("window_secs", &self.window_secs).finish()
+    }
+}
+
+impl WindowedHistogram {
+    /// A window covering the last `window_secs` seconds (clamped to
+    /// `1..=`[`MAX_WINDOW_SECS`]).
+    pub fn new(window_secs: u64) -> Self {
+        let window_secs = window_secs.clamp(1, MAX_WINDOW_SECS);
+        let slots = (0..window_secs + 1).map(|_| Slot::new()).collect();
+        WindowedHistogram { window_secs, slots }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Record a value in nanoseconds at the current wall-clock second.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.record_at(ns, now_secs());
+    }
+
+    /// Record a [`std::time::Duration`] at the current wall-clock second.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record at an explicit second (the deterministic hook tests and replay
+    /// tooling use; `record` passes the process clock).
+    pub fn record_at(&self, ns: u64, at_secs: u64) {
+        let slot = &self.slots[(at_secs % self.slots.len() as u64) as usize];
+        let stamp = at_secs + 1;
+        let seen = slot.stamp.load(Ordering::Acquire);
+        if seen != stamp {
+            // First writer of this second claims the slot and zeroes the
+            // previous tenant's samples; losers just record into it.
+            if slot.stamp.compare_exchange(seen, stamp, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                slot.zero();
+            }
+        }
+        slot.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(ns, Ordering::Relaxed);
+        slot.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Merge all in-window slots into a [`HistogramSnapshot`] as of now.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(now_secs())
+    }
+
+    /// Merge all slots stamped within `(now_secs - window_secs, now_secs]`.
+    pub fn snapshot_at(&self, now_secs: u64) -> HistogramSnapshot {
+        let newest = now_secs + 1; // stamp encoding
+        let oldest = newest.saturating_sub(self.window_secs - 1);
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == 0 || stamp < oldest || stamp > newest {
+                continue;
+            }
+            for (i, b) in slot.buckets.iter().enumerate() {
+                buckets[i] += b.load(Ordering::Relaxed);
+            }
+            sum = sum.saturating_add(slot.sum.load(Ordering::Relaxed));
+            max = max.max(slot.max.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot { count, sum_ns: sum, max_ns: max, buckets }
+    }
+
+    /// Forget everything (used by `Registry::reset`).
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.stamp.store(0, Ordering::Release);
+            slot.zero();
+        }
+    }
+}
+
+/// A [`WindowedHistogram`] snapshot plus its window length, as stored in
+/// [`MetricsSnapshot::windows`](crate::MetricsSnapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Window length the histogram was configured with.
+    pub window_secs: u64,
+    /// Merged in-window samples.
+    pub hist: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_inside_window_are_visible() {
+        let w = WindowedHistogram::new(60);
+        w.record_at(1_000, 100);
+        w.record_at(3_000, 130);
+        let s = w.snapshot_at(130);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, 3_000);
+        assert_eq!(s.sum_ns, 4_000);
+    }
+
+    #[test]
+    fn samples_age_out_of_the_window() {
+        let w = WindowedHistogram::new(60);
+        w.record_at(1_000, 100);
+        // 59 seconds later it is still in a 60 s window …
+        assert_eq!(w.snapshot_at(159).count, 1);
+        // … 60 seconds later it is not.
+        assert_eq!(w.snapshot_at(160).count, 0);
+    }
+
+    #[test]
+    fn slot_reuse_zeroes_the_previous_tenant() {
+        let w = WindowedHistogram::new(2);
+        // Ring has 3 slots; seconds 0 and 3 share slot 0.
+        w.record_at(1_000, 0);
+        w.record_at(2_000, 3);
+        let s = w.snapshot_at(3);
+        assert_eq!(s.count, 1, "second 0's sample must not leak into second 3");
+        assert_eq!(s.max_ns, 2_000);
+    }
+
+    #[test]
+    fn quantiles_track_recent_mass() {
+        let w = WindowedHistogram::new(10);
+        for _ in 0..100 {
+            w.record_at(1_000_000, 5); // a slow past
+        }
+        for _ in 0..100 {
+            w.record_at(1_000, 20); // a fast present
+        }
+        let s = w.snapshot_at(25);
+        assert_eq!(s.count, 100);
+        assert!(s.p99() < 10_000, "p99 = {} must reflect only the fast window", s.p99());
+    }
+
+    #[test]
+    fn reset_clears_all_slots() {
+        let w = WindowedHistogram::new(60);
+        w.record_at(500, 10);
+        w.reset();
+        assert_eq!(w.snapshot_at(10).count, 0);
+    }
+
+    #[test]
+    fn window_secs_is_clamped() {
+        assert_eq!(WindowedHistogram::new(0).window_secs(), 1);
+        assert_eq!(WindowedHistogram::new(10_000).window_secs(), MAX_WINDOW_SECS);
+    }
+
+    #[test]
+    fn live_clock_record_is_visible() {
+        let w = WindowedHistogram::new(60);
+        w.record(42);
+        assert_eq!(w.snapshot().count, 1);
+    }
+}

@@ -59,6 +59,12 @@ impl CachedAnswer {
         // per-entry overhead for the key, node and map slot.
         self.table.heap_bytes() + self.rows.len() * std::mem::size_of::<RowId>() + 256
     }
+
+    /// The bytes this answer is charged against the cache capacity —
+    /// what a trace reports as "bytes touched" on a cache hit.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes()
+    }
 }
 
 const NIL: usize = usize::MAX;

@@ -58,6 +58,26 @@ impl CompiledCell {
         self.codes[i] = code;
     }
 
+    /// Human-readable rendering for traces and `EXPLAIN ANALYZE`, e.g.
+    /// `cell{mask=0b101, codes=[0:3, 2:7]}` (attribute index : code).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(32);
+        let _ = write!(out, "cell{{mask=0b{:b}, codes=[", self.mask);
+        let mut first = true;
+        for i in 0..self.n as usize {
+            if self.mask & (1 << i) != 0 {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{}:{}", i, self.codes[i]);
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// The presence bitmask (equals the owning cuboid's mask).
     #[inline]
     pub fn mask(&self) -> u32 {

@@ -42,6 +42,17 @@ enum Cuboid {
     Sorted { arity: usize, keys: Vec<u32>, ids: Vec<u32> },
 }
 
+/// The layout kind serving a cuboid's probes (see [`ServeIndex::layout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexLayout {
+    /// No materialized cells: probes fall through to the global sample.
+    Empty,
+    /// Direct slot array — O(1) mixed-radix indexing.
+    Direct,
+    /// Sorted fixed-width keys — branch-free binary search (dense probe).
+    Sorted,
+}
+
 /// The frozen per-cuboid serving index of one cube generation.
 #[derive(Debug)]
 pub struct ServeIndex {
@@ -159,6 +170,18 @@ impl ServeIndex {
                 let probe = cell.compact_into(&mut buf);
                 probe_sorted(keys, ids, *arity, probe)
             }
+        }
+    }
+
+    /// Which layout serves probes for cuboid `mask` — the trace-level
+    /// distinction between a "direct index" lookup and a "dense probe"
+    /// binary search.
+    #[inline]
+    pub fn layout(&self, mask: u32) -> IndexLayout {
+        match &self.cuboids[mask as usize] {
+            Cuboid::Empty => IndexLayout::Empty,
+            Cuboid::Direct { .. } => IndexLayout::Direct,
+            Cuboid::Sorted { .. } => IndexLayout::Sorted,
         }
     }
 

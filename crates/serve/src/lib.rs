@@ -39,5 +39,7 @@ pub mod server;
 
 pub use cache::{AnswerCache, CacheLookup, CachedAnswer};
 pub use compile::{compile_predicate, CompiledCell, MAX_CUBED_ATTRS};
-pub use index::ServeIndex;
-pub use server::{ServeAnswer, Server, SERVE_EVICTIONS, SERVE_HITS, SERVE_MISSES, SERVE_PROBE_NS};
+pub use index::{IndexLayout, ServeIndex};
+pub use server::{
+    ServeAnswer, Server, SERVE_EVICTIONS, SERVE_HITS, SERVE_MISSES, SERVE_PROBE_NS, SERVE_QUERY_NS,
+};

@@ -22,13 +22,15 @@
 
 use crate::cache::{AnswerCache, CacheLookup, CachedAnswer};
 use crate::compile::{compile_predicate, CompiledCell};
-use crate::index::ServeIndex;
+use crate::index::{IndexLayout, ServeIndex};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use tabula_core::incremental::{refresh, RefreshConfig, RefreshStats};
 use tabula_core::loss::AccuracyLoss;
 use tabula_core::{Result, SampleProvenance, SamplingCube};
 use tabula_obs::metrics::{Counter, Histogram, Registry};
+use tabula_obs::trace::{QueryTrace, Stage, TraceProvenance, Tracer};
+use tabula_obs::window::WindowedHistogram;
 use tabula_storage::{Predicate, RowId, Table};
 
 /// Counter: answers served from the cache.
@@ -39,6 +41,8 @@ pub const SERVE_MISSES: &str = "serve.misses";
 pub const SERVE_EVICTIONS: &str = "serve.evictions";
 /// Histogram: nanoseconds spent probing the frozen index on misses.
 pub const SERVE_PROBE_NS: &str = "serve.probe_ns";
+/// Histogram + 60 s sliding window: end-to-end nanoseconds per served query.
+pub const SERVE_QUERY_NS: &str = "serve.query_ns";
 
 /// Pre-resolved serving metrics.
 #[derive(Debug, Clone)]
@@ -47,6 +51,8 @@ struct ServeMetrics {
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
     probe_ns: Arc<Histogram>,
+    query_ns: Arc<Histogram>,
+    query_window: Arc<WindowedHistogram>,
 }
 
 impl ServeMetrics {
@@ -56,6 +62,8 @@ impl ServeMetrics {
             misses: registry.counter(SERVE_MISSES),
             evictions: registry.counter(SERVE_EVICTIONS),
             probe_ns: registry.histogram(SERVE_PROBE_NS),
+            query_ns: registry.histogram(SERVE_QUERY_NS),
+            query_window: registry.window(SERVE_QUERY_NS),
         }
     }
 }
@@ -110,6 +118,7 @@ pub struct Server {
     cache: AnswerCache,
     metrics: ServeMetrics,
     registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
 }
 
 impl Server {
@@ -138,7 +147,20 @@ impl Server {
             cache,
             metrics: ServeMetrics::in_registry(&registry),
             registry,
+            tracer: Arc::clone(Tracer::global()),
         })
+    }
+
+    /// Replace the process-global [`Tracer`] with a private one (benches
+    /// and tests isolate their traces this way).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer whose policy governs [`query`](Self::query).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The currently served cube generation.
@@ -161,14 +183,43 @@ impl Server {
     /// Identical semantics to [`SamplingCube::query`] followed by
     /// [`materialize`](tabula_core::QueryAnswer::materialize): same rows,
     /// same provenance, same errors — just faster on repeats.
+    ///
+    /// Tracing is governed by this server's [`Tracer`]: deciding costs one
+    /// relaxed atomic load; when the trace is enabled the full per-stage
+    /// breakdown lands in the tracer's flight recorder.
     pub fn query(&self, pred: &Predicate) -> Result<ServeAnswer> {
+        let mut trace = self.tracer.begin();
+        let result = self.query_traced(pred, &mut trace);
+        self.tracer.finish(trace);
+        result
+    }
+
+    /// [`query`](Self::query) with a caller-owned [`QueryTrace`] — the SQL
+    /// executor threads its own trace through here so `EXPLAIN ANALYZE`
+    /// can show the breakdown. The caller finishes the trace.
+    pub fn query_traced(&self, pred: &Predicate, trace: &mut QueryTrace) -> Result<ServeAnswer> {
+        let wall = Instant::now();
+        let result = self.query_inner(pred, trace);
+        let elapsed = wall.elapsed();
+        self.metrics.query_ns.record_duration(elapsed);
+        self.metrics.query_window.record_duration(elapsed);
+        result
+    }
+
+    fn query_inner(&self, pred: &Predicate, trace: &mut QueryTrace) -> Result<ServeAnswer> {
         let generation = Arc::clone(&self.generation.read().unwrap());
         let cube = &generation.cube;
-        let Some(cell) =
-            compile_predicate(cube.table(), &generation.attrs, &generation.cols, pred)?
-        else {
+        if trace.is_enabled() {
+            trace.set_label(format!("{pred:?}"));
+            trace.set_epoch(generation.epoch);
+        }
+        let stage = trace.stage_start();
+        let compiled = compile_predicate(cube.table(), &generation.attrs, &generation.cols, pred)?;
+        trace.stage(Stage::Compile, stage, 0, 0);
+        let Some(cell) = compiled else {
             // EmptyDomain short-circuit: nothing to probe, nothing to cache.
             cube.provenance_counters().record_cell_miss();
+            trace.set_provenance(TraceProvenance::EmptyDomain);
             return Ok(ServeAnswer {
                 rows: Arc::new(Vec::new()),
                 provenance: SampleProvenance::EmptyDomain,
@@ -176,8 +227,20 @@ impl Server {
                 cached: false,
             });
         };
-        match self.cache.get(&cell, generation.epoch) {
+        if trace.is_enabled() {
+            trace.set_cell(cell.describe());
+        }
+        let stage = trace.stage_start();
+        let lookup = self.cache.get(&cell, generation.epoch);
+        match lookup {
             CacheLookup::Hit(hit) => {
+                trace.stage(
+                    Stage::CacheProbe,
+                    stage,
+                    hit.rows.len() as u64,
+                    hit.heap_bytes() as u64,
+                );
+                trace.set_provenance(TraceProvenance::CacheHit);
                 self.metrics.hits.inc();
                 cube.provenance_counters().record_serve_cache_hit();
                 Ok(ServeAnswer {
@@ -188,8 +251,9 @@ impl Server {
                 })
             }
             lookup => {
+                trace.stage(Stage::CacheProbe, stage, 0, 0);
                 self.metrics.misses.inc();
-                let answer = self.compute(&generation, &cell);
+                let answer = self.compute(&generation, &cell, trace);
                 if !matches!(lookup, CacheLookup::Bypass) {
                     let evicted = self.cache.insert(
                         cell,
@@ -210,22 +274,36 @@ impl Server {
     }
 
     /// Probe the frozen index and materialize — the cache-miss path.
-    fn compute(&self, generation: &Generation, cell: &CompiledCell) -> ServeAnswer {
+    fn compute(
+        &self,
+        generation: &Generation,
+        cell: &CompiledCell,
+        trace: &mut QueryTrace,
+    ) -> ServeAnswer {
         let cube = &generation.cube;
+        let stage = trace.stage_start();
         let start = Instant::now();
         let probed = generation.index.probe(cell);
         self.metrics.probe_ns.record_duration(start.elapsed());
+        trace.stage(Stage::IndexProbe, stage, 0, 0);
         let (rows, provenance) = match probed {
             Some(sample_id) => {
                 cube.provenance_counters().record_local_hit();
+                trace.set_provenance(match generation.index.layout(cell.mask()) {
+                    IndexLayout::Direct => TraceProvenance::LocalDirect,
+                    _ => TraceProvenance::LocalSorted,
+                });
                 (Arc::clone(cube.sample(sample_id)), SampleProvenance::Local(sample_id))
             }
             None => {
                 cube.provenance_counters().record_global_hit();
+                trace.set_provenance(TraceProvenance::GlobalSample);
                 (Arc::clone(cube.global_sample()), SampleProvenance::Global)
             }
         };
+        let stage = trace.stage_start();
         let table = Arc::new(cube.table().take(&rows));
+        trace.stage(Stage::Materialize, stage, rows.len() as u64, table.heap_bytes() as u64);
         ServeAnswer { rows, provenance, table, cached: false }
     }
 
@@ -412,7 +490,7 @@ mod tests {
         let cell = compile_predicate(stalled.cube.table(), &stalled.attrs, &stalled.cols, &pred)
             .unwrap()
             .unwrap();
-        let answer = srv.compute(&stalled, &cell);
+        let answer = srv.compute(&stalled, &cell, &mut QueryTrace::disabled());
         // ...the refresh installs generation N+1 before the insert...
         srv.install(srv.cube()).unwrap();
         srv.cache.insert(
@@ -427,5 +505,91 @@ mod tests {
         // ...and the next query must miss the cache and recompute.
         assert!(!srv.query(&pred).unwrap().cached);
         assert!(srv.query(&pred).unwrap().cached);
+    }
+
+    #[test]
+    fn traced_query_records_stages_and_provenance() {
+        let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::new(1, u64::MAX / 2_000_000, 16));
+        let srv = server(&registry).with_tracer(Arc::clone(&tracer));
+        let pred = Predicate::eq("M", "dispute");
+
+        // Cold: compile → cache probe (miss) → index probe → materialize.
+        srv.query(&pred).unwrap();
+        let cold = tracer.recorder().recent().pop().unwrap();
+        let stages: Vec<Stage> = cold.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::Compile, Stage::CacheProbe, Stage::IndexProbe, Stage::Materialize]
+        );
+        assert!(cold.stages.iter().all(|s| s.ns >= 1));
+        assert!(matches!(
+            cold.provenance,
+            TraceProvenance::LocalDirect | TraceProvenance::LocalSorted
+        ));
+        assert!(cold.cell.starts_with("cell{"), "{}", cold.cell);
+        assert_eq!(cold.epoch, srv.cache.epoch());
+
+        // Warm: the cache hit must not record index or materialize stages.
+        srv.query(&pred).unwrap();
+        let warm = tracer.recorder().recent().pop().unwrap();
+        let stages: Vec<Stage> = warm.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec![Stage::Compile, Stage::CacheProbe]);
+        assert_eq!(warm.provenance, TraceProvenance::CacheHit);
+        assert!(warm.rows > 0, "cache hits report rows touched");
+        assert!(warm.bytes > 0, "cache hits report bytes touched");
+    }
+
+    #[test]
+    fn empty_domain_trace_has_no_probe_stages() {
+        let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::new(1, 1_000, 16));
+        let srv = server(&registry).with_tracer(Arc::clone(&tracer));
+        srv.query(&Predicate::eq("M", "bitcoin")).unwrap();
+        let t = tracer.recorder().recent().pop().unwrap();
+        assert_eq!(t.provenance, TraceProvenance::EmptyDomain);
+        let stages: Vec<Stage> = t.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec![Stage::Compile]);
+    }
+
+    #[test]
+    fn global_fallback_trace_says_global_sample() {
+        let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::new(1, 1_000, 16));
+        let srv = server(&registry).with_tracer(Arc::clone(&tracer));
+        // "free" exists in the domain but is too rare to be materialized
+        // in every cuboid; find a pred whose answer is Global.
+        let cube = srv.cube();
+        for m in ["free", "cash", "credit", "dispute"] {
+            let pred = Predicate::eq("M", m);
+            if cube.query(&pred).unwrap().provenance == SampleProvenance::Global {
+                srv.query(&pred).unwrap();
+                let t = tracer.recorder().recent().pop().unwrap();
+                assert_eq!(t.provenance, TraceProvenance::GlobalSample);
+                return;
+            }
+        }
+        // The DCM example materializes every M cell: fall back to the
+        // serving invariant that local hits trace as local.
+        srv.query(&Predicate::eq("M", "cash")).unwrap();
+        let t = tracer.recorder().recent().pop().unwrap();
+        assert!(matches!(
+            t.provenance,
+            TraceProvenance::LocalDirect | TraceProvenance::LocalSorted
+        ));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_but_windows_still_fill() {
+        let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::new(0, 1_000, 16));
+        let srv = server(&registry).with_tracer(Arc::clone(&tracer));
+        for _ in 0..5 {
+            srv.query(&Predicate::eq("M", "cash")).unwrap();
+        }
+        assert!(tracer.recorder().is_empty());
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms[SERVE_QUERY_NS].count, 5);
+        assert_eq!(snap.windows[SERVE_QUERY_NS].hist.count, 5);
     }
 }

@@ -78,6 +78,10 @@ pub enum Statement {
     Show(ShowKind),
     /// `EXPLAIN CUBE <name>` — the cube's build statistics and layout.
     ExplainCube(String),
+    /// `EXPLAIN ANALYZE <select>` — execute the inner statement under a
+    /// forced trace and print its stage-by-stage breakdown and provenance.
+    /// Only `SELECT sample` and `SELECT *` statements can be analyzed.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// What a `DROP` statement removes.

@@ -163,6 +163,7 @@ impl fmt::Display for Statement {
                 write!(f, "SHOW {kind}")
             }
             Statement::ExplainCube(name) => write!(f, "EXPLAIN CUBE {name}"),
+            Statement::ExplainAnalyze(inner) => write!(f, "EXPLAIN ANALYZE {inner}"),
         }
     }
 }
@@ -194,6 +195,8 @@ mod tests {
             "SHOW TABLES",
             "SHOW AGGREGATES",
             "EXPLAIN CUBE SamplingCube",
+            "EXPLAIN ANALYZE SELECT sample FROM SamplingCube WHERE D = '[0,5)' AND C = 1",
+            "EXPLAIN ANALYZE SELECT * FROM nyctaxi WHERE payment_type = 'cash'",
         ];
         for sql in samples {
             let ast = parse(sql).expect(sql);

@@ -12,8 +12,9 @@ use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, Regression
 use tabula_core::{MaterializationMode, SamplingCubeBuilder, SerflingConfig};
 use tabula_obs as obs;
 use tabula_obs::span;
+use tabula_obs::trace::{CompletedTrace, Stage, TraceProvenance, Tracer};
 use tabula_serve::Server;
-use tabula_storage::{Predicate, Table};
+use tabula_storage::{Predicate, ScanStats, Table};
 
 /// How a registered loss function binds to target attributes at cube
 /// build time.
@@ -94,6 +95,7 @@ pub struct Session {
     serfling: SerflingConfig,
     mode: MaterializationMode,
     registry: Arc<obs::Registry>,
+    tracer: Arc<Tracer>,
 }
 
 impl Default for Session {
@@ -121,6 +123,7 @@ impl Session {
             serfling: SerflingConfig::default(),
             mode: MaterializationMode::Tabula,
             registry: Arc::clone(obs::global()),
+            tracer: Arc::clone(Tracer::global()),
         }
     }
 
@@ -135,6 +138,19 @@ impl Session {
     /// The session's metrics registry.
     pub fn registry(&self) -> &Arc<obs::Registry> {
         &self.registry
+    }
+
+    /// Use a private [`Tracer`] instead of the process-wide one. Servers
+    /// created for cubes built after this call inherit it, so their
+    /// [`Server::query`] traces land in the same flight recorder.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer governing this session's query traces.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Point-in-time snapshot of the session's metrics.
@@ -280,7 +296,8 @@ impl Session {
                 };
                 let stats = cube.stats().clone();
                 let cube = Arc::new(cube);
-                let server = Server::in_registry(Arc::clone(&cube), &self.registry)?;
+                let server = Server::in_registry(Arc::clone(&cube), &self.registry)?
+                    .with_tracer(Arc::clone(&self.tracer));
                 self.cubes.insert(name.clone(), ServedCube { cube, server });
                 Ok(QueryResult::CubeCreated { name, stats })
             }
@@ -291,8 +308,12 @@ impl Session {
                     .ok_or(SqlError::Unknown { kind: "cube", name: cube.clone() })?;
                 let pred = predicate_of(&conditions);
                 let q_start = Instant::now();
+                // The server begins/finishes its own trace (its tracer is
+                // this session's — see CreateCube).
                 let answer = entry.server.query(&pred)?;
-                self.registry.histogram("query.latency").record_duration(q_start.elapsed());
+                let elapsed = q_start.elapsed();
+                self.registry.histogram("query.latency").record_duration(elapsed);
+                self.registry.window("query.latency").record_duration(elapsed);
                 Ok(QueryResult::Sample { table: answer.table, provenance: answer.provenance })
             }
             Statement::SelectRaw { table, conditions } => {
@@ -301,9 +322,16 @@ impl Session {
                     .get(&table)
                     .ok_or(SqlError::Unknown { kind: "table", name: table.clone() })?;
                 let pred = predicate_of(&conditions);
-                let rows = pred.filter(t)?;
-                Ok(QueryResult::Table(t.take(&rows)))
+                let mut trace = self.tracer.begin();
+                if trace.is_enabled() {
+                    trace.set_label(format!("SELECT * FROM {table}"));
+                }
+                let (rows, _stats) = scan_traced(&pred, t, &mut trace)?;
+                let result = t.take(&rows);
+                self.tracer.finish(trace);
+                Ok(QueryResult::Table(result))
             }
+            Statement::ExplainAnalyze(inner) => self.explain_analyze(*inner),
             Statement::Drop { kind, name } => match kind {
                 DropKind::Cube => {
                     self.cubes
@@ -403,6 +431,40 @@ impl Session {
         }
     }
 
+    /// Execute `stmt` under a forced trace and render the stage-by-stage
+    /// breakdown — the sampling policy is bypassed, so `EXPLAIN ANALYZE`
+    /// always has a trace to show even when tracing is off.
+    fn explain_analyze(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let sql_text = stmt.to_string();
+        let mut trace = self.tracer.force();
+        trace.set_label(sql_text.clone());
+        let (rows, provenance) = match &stmt {
+            Statement::SelectSample { cube, conditions } => {
+                let entry = self
+                    .cubes
+                    .get(cube)
+                    .ok_or(SqlError::Unknown { kind: "cube", name: cube.clone() })?;
+                let pred = predicate_of(conditions);
+                let answer = entry.server.query_traced(&pred, &mut trace)?;
+                (answer.table.len(), format!("{:?}", answer.provenance))
+            }
+            Statement::SelectRaw { table, conditions } => {
+                let t = self
+                    .tables
+                    .get(table)
+                    .ok_or(SqlError::Unknown { kind: "table", name: table.clone() })?;
+                let pred = predicate_of(conditions);
+                let (rows, _stats) = scan_traced(&pred, t, &mut trace)?;
+                (rows.len(), "Scan".to_string())
+            }
+            // The parser only wraps SELECTs, but a hand-built AST could
+            // carry anything.
+            _ => return Err(SqlError::Parse("EXPLAIN ANALYZE takes a SELECT statement".into())),
+        };
+        let completed = self.tracer.finish(trace).expect("forced traces always complete");
+        Ok(QueryResult::Info(render_explain(&sql_text, rows, &provenance, &completed)))
+    }
+
     fn build<L: tabula_core::AccuracyLoss>(
         &self,
         table: Arc<Table>,
@@ -430,6 +492,70 @@ fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::Drop { .. } => "drop",
         Statement::Show(_) => "show",
         Statement::ExplainCube(_) => "explain_cube",
+        Statement::ExplainAnalyze(_) => "explain_analyze",
+    }
+}
+
+/// Run `pred` over `t` recording a `scan` stage into `trace`. The stats
+/// pass only runs when the trace is enabled; the untraced path is the plain
+/// morsel-parallel filter.
+fn scan_traced(
+    pred: &Predicate,
+    t: &Arc<Table>,
+    trace: &mut obs::QueryTrace,
+) -> Result<(Vec<tabula_storage::RowId>, ScanStats)> {
+    let stage = trace.stage_start();
+    let (rows, stats) = if trace.is_enabled() {
+        pred.filter_with_stats(t)?
+    } else {
+        (pred.filter(t)?, ScanStats::default())
+    };
+    trace.stage(Stage::Scan, stage, stats.rows_matched, stats.bytes_scanned);
+    trace.set_provenance(TraceProvenance::Scan);
+    Ok((rows, stats))
+}
+
+/// Render a completed trace as the `EXPLAIN ANALYZE` info lines: the
+/// answer summary, the compiled cell (when there is one), then one line
+/// per stage with nanos, rows and bytes.
+fn render_explain(
+    sql_text: &str,
+    rows: usize,
+    provenance: &str,
+    trace: &CompletedTrace,
+) -> Vec<String> {
+    let mut lines = vec![
+        format!("{sql_text}"),
+        format!(
+            "answer: {rows} rows ({provenance}) in {} | trace provenance: {} | epoch {}",
+            fmt_ns(trace.total_ns),
+            trace.provenance.name(),
+            trace.epoch
+        ),
+    ];
+    if !trace.cell.is_empty() {
+        lines.push(format!("cell: {}", trace.cell));
+    }
+    lines.push(format!("{:<12} {:>12} {:>10} {:>12}", "stage", "time", "rows", "bytes"));
+    for s in &trace.stages {
+        lines.push(format!(
+            "{:<12} {:>12} {:>10} {:>12}",
+            s.stage.name(),
+            fmt_ns(s.ns),
+            s.rows,
+            s.bytes
+        ));
+    }
+    lines
+}
+
+/// Human-readable nanoseconds: `812ns`, `12.4µs`, `3.1ms`, `2.0s`.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
     }
 }
 

@@ -6,7 +6,9 @@ use crate::{Result, SqlError};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
     /// Identifier or keyword (case preserved; keyword matching is
-    /// case-insensitive at the parser level).
+    /// case-insensitive at the parser level). Every dialect keyword —
+    /// including multi-word forms like `EXPLAIN ANALYZE` and `GROUP BY` —
+    /// lexes as a plain sequence of `Ident`s; the parser decides meaning.
     Ident(String),
     /// Numeric literal.
     Number(f64),

@@ -127,6 +127,13 @@ impl Parser {
             return Ok(Statement::Show(kind));
         }
         if self.accept_kw("EXPLAIN") {
+            if self.accept_kw("ANALYZE") {
+                let inner = self.statement()?;
+                if !matches!(inner, Statement::SelectSample { .. } | Statement::SelectRaw { .. }) {
+                    return Err(SqlError::Parse("EXPLAIN ANALYZE takes a SELECT statement".into()));
+                }
+                return Ok(Statement::ExplainAnalyze(Box::new(inner)));
+            }
             self.expect_kw("CUBE")?;
             let name = self.ident()?;
             return Ok(Statement::ExplainCube(name));
@@ -553,5 +560,23 @@ mod tests {
         let stmt = parse("SELECT * FROM t").unwrap();
         let Statement::SelectRaw { conditions, .. } = stmt else { panic!() };
         assert!(conditions.is_empty());
+    }
+
+    #[test]
+    fn explain_analyze_wraps_selects_only() {
+        let stmt = parse("EXPLAIN ANALYZE SELECT sample FROM c WHERE M = 'cash'").unwrap();
+        let Statement::ExplainAnalyze(inner) = stmt else { panic!("{stmt:?}") };
+        assert!(matches!(*inner, Statement::SelectSample { .. }));
+        let stmt = parse("explain analyze select * from t").unwrap();
+        let Statement::ExplainAnalyze(inner) = stmt else { panic!("{stmt:?}") };
+        assert!(matches!(*inner, Statement::SelectRaw { .. }));
+        // Non-SELECT inner statements are rejected at parse time.
+        assert!(matches!(parse("EXPLAIN ANALYZE SHOW CUBES"), Err(SqlError::Parse(_))));
+        assert!(matches!(parse("EXPLAIN ANALYZE DROP CUBE c"), Err(SqlError::Parse(_))));
+        // EXPLAIN ANALYZE of EXPLAIN ANALYZE is not a select either.
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT * FROM t"),
+            Err(SqlError::Parse(_))
+        ));
     }
 }

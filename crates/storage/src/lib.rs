@@ -44,7 +44,7 @@ pub use dictionary::Dictionary;
 pub use fx::{FxHashMap, FxHashSet};
 pub use group::{group_by, GroupedRows};
 pub use packed::PackedCodes;
-pub use predicate::{CmpOp, Predicate};
+pub use predicate::{CmpOp, Predicate, ScanStats};
 pub use schema::{Field, Schema};
 pub use table::{RowId, Table, TableBuilder};
 pub use types::{ColumnType, Point, Value};

@@ -111,6 +111,32 @@ impl Predicate {
         Ok(partials.concat())
     }
 
+    /// [`filter`](Self::filter) plus a [`ScanStats`] accounting of the work
+    /// done — the scan-path stage hook the tracing layer records (rows and
+    /// bytes touched by a raw-table fallback query).
+    pub fn filter_with_stats(&self, table: &Table) -> Result<(Vec<RowId>, ScanStats)> {
+        let rows = self.filter(table)?;
+        let compiled = self.compile(table)?;
+        // Bytes touched per row: one dictionary code (4 B) per compiled
+        // categorical-equality term, one typed value (8 B) otherwise. An
+        // estimate — short-circuiting terms touch less — but a stable,
+        // explainable one.
+        let row_bytes: u64 = compiled
+            .iter()
+            .map(|t| match t {
+                CompiledTerm::CatEq { .. } => 4,
+                CompiledTerm::General { .. } => 8,
+                CompiledTerm::Never => 0,
+            })
+            .sum();
+        let stats = ScanStats {
+            rows_scanned: table.len() as u64,
+            rows_matched: rows.len() as u64,
+            bytes_scanned: table.len() as u64 * row_bytes,
+        };
+        Ok((rows, stats))
+    }
+
     /// Evaluate over an explicit subset of rows of `table`, preserving order.
     pub fn filter_rows(&self, table: &Table, rows: &[RowId]) -> Result<Vec<RowId>> {
         let compiled = self.compile(table)?;
@@ -152,6 +178,17 @@ impl Predicate {
             })
             .collect()
     }
+}
+
+/// Work accounting for one [`Predicate::filter_with_stats`] scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Rows the scan visited (the whole table for a full filter).
+    pub rows_scanned: u64,
+    /// Rows that matched the predicate.
+    pub rows_matched: u64,
+    /// Estimated bytes of column data touched.
+    pub bytes_scanned: u64,
 }
 
 enum CompiledTerm {
@@ -287,6 +324,18 @@ mod tests {
         let allowed = vec!["payment".to_owned(), "passengers".to_owned()];
         assert!(validate_columns(&Predicate::eq("payment", "cash"), &allowed).is_ok());
         assert!(validate_columns(&Predicate::eq("fare", 1.0), &allowed).is_err());
+    }
+
+    #[test]
+    fn filter_with_stats_accounts_for_the_scan() {
+        let t = table();
+        let p = Predicate::eq("payment", "cash").and("fare", CmpOp::Gt, 4.0);
+        let (rows, stats) = p.filter_with_stats(&t).unwrap();
+        assert_eq!(rows, p.filter(&t).unwrap());
+        assert_eq!(stats.rows_scanned, 5);
+        assert_eq!(stats.rows_matched, 2);
+        // One cat-eq term (4 B/row) + one general term (8 B/row).
+        assert_eq!(stats.bytes_scanned, 5 * 12);
     }
 
     #[test]

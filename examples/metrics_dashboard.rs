@@ -1,6 +1,8 @@
 //! End-to-end observability tour: build a sampling cube with tracing
-//! enabled, run a 1 000-query dashboard workload against it, and dump the
-//! resulting metrics snapshot as JSON and Prometheus text.
+//! enabled, run a 1 000-query dashboard workload against it (plus a
+//! served pass with a fully-sampled query tracer), and dump the
+//! resulting metrics snapshot as JSON and Prometheus text, the windowed
+//! serve latency, and the flight recorder's last slow-query trace.
 //!
 //! ```bash
 //! cargo run --release --example metrics_dashboard
@@ -21,6 +23,7 @@ use tabula::obs;
 
 const ROWS: usize = 20_000;
 const QUERIES: usize = 1_000;
+const SERVED: usize = 200;
 
 fn main() {
     // 1. Capture spans: the collector sees every stage of the build
@@ -54,9 +57,25 @@ fn main() {
         latency.record_duration(start.elapsed());
     }
 
+    // 4. The served path, with every query traced: slow threshold 0 ms
+    //    means every trace also lands in the always-retained slow ring,
+    //    so the flight recorder is guaranteed to have a capture to show.
+    let cube = Arc::new(cube);
+    let tracer = Arc::new(obs::Tracer::new(1, 0, 64));
+    let server = tabula::serve::Server::with_cache(
+        Arc::clone(&cube),
+        tabula::serve::AnswerCache::new(4 << 20, 4),
+        Arc::clone(&registry),
+    )
+    .expect("serving index build succeeds")
+    .with_tracer(Arc::clone(&tracer));
+    for q in &queries[..SERVED] {
+        server.query(&q.predicate).expect("served query succeeds");
+    }
+
     obs::clear_subscriber();
 
-    // 4. The numbers. JSON snapshot first (what a dashboard would scrape) …
+    // 5. The numbers. JSON snapshot first (what a dashboard would scrape) …
     let snapshot = registry.snapshot();
     println!("=== JSON metrics snapshot ===");
     println!("{}", snapshot.to_json());
@@ -91,11 +110,23 @@ fn main() {
         lat.max_ns
     );
     println!(
-        "provenance: {} local hits + {} global fallbacks + {} misses = {}",
+        "provenance: {} local hits + {} global fallbacks + {} misses + {} cache hits = {}",
         prov.local_hits(),
         prov.global_hits(),
         prov.cell_misses(),
+        prov.serve_cache_hits(),
         prov.total()
     );
-    assert_eq!(prov.total(), QUERIES as u64, "every query is tallied exactly once");
+    let window = &snapshot.windows[tabula::serve::SERVE_QUERY_NS];
+    println!(
+        "served latency (sliding {}s window, {} queries): p50 = {}ns   p99 = {}ns",
+        window.window_secs,
+        window.hist.count,
+        window.hist.p50(),
+        window.hist.p99()
+    );
+    let slow = tracer.recorder().last_slow().expect("slow threshold 0 captures every query");
+    println!("last slow-query trace (flight recorder holds {}):", tracer.recorder().len());
+    println!("  {}", slow.to_json());
+    assert_eq!(prov.total(), (QUERIES + SERVED) as u64, "every query is tallied exactly once");
 }

@@ -13,9 +13,15 @@
 //! Shell commands beyond SQL:
 //!
 //! * `\metrics` — dump the session's metrics registry as JSON
-//!   (`\metrics prom` for Prometheus text format);
+//!   (`\metrics prom` for Prometheus text format, `\metrics reset` to
+//!   zero every counter/histogram/window for phase isolation);
+//! * `\trace` — dump the flight recorder's recent traces as JSONL
+//!   (`\trace slow` for the always-retained slow-query ring);
 //! * `\timing` — toggle printing each statement's wall time;
 //! * `\q` — quit.
+//!
+//! Tracing is on by default in the shell (every query is recorded);
+//! set `TABULA_TRACE_SAMPLE` to override (0 disables, N keeps 1-in-N).
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -46,6 +52,11 @@ fn main() {
     };
 
     let mut session = Session::new();
+    // An interactive shell wants every query in the flight recorder
+    // unless the operator explicitly chose a sampling rate.
+    if std::env::var("TABULA_TRACE_SAMPLE").is_err() {
+        session.tracer().set_sample(1);
+    }
     println!(
         "tabula-repl — table 'nyctaxi' registered ({} rows × {} columns). \\q to quit.",
         table.len(),
@@ -90,12 +101,26 @@ fn main() {
         if !interactive {
             println!("tabula> {line}");
         }
-        if line == "\\metrics" || line == "\\metrics prom" {
-            let snap = session.metrics_snapshot();
-            if line.ends_with("prom") {
-                print!("{}", snap.to_prometheus());
+        if line == "\\metrics" || line == "\\metrics prom" || line == "\\metrics reset" {
+            if line.ends_with("reset") {
+                session.registry().reset();
+                println!("metrics reset");
+            } else if line.ends_with("prom") {
+                print!("{}", session.metrics_snapshot().to_prometheus());
             } else {
-                println!("{}", snap.to_json());
+                println!("{}", session.metrics_snapshot().to_json());
+            }
+            continue;
+        }
+        if line == "\\trace" || line == "\\trace slow" {
+            let recorder = session.tracer().recorder();
+            let traces = if line.ends_with("slow") { recorder.slow() } else { recorder.recent() };
+            if traces.is_empty() {
+                println!("(no traces recorded)");
+            } else {
+                for t in traces {
+                    println!("{}", t.to_json());
+                }
             }
             continue;
         }
@@ -106,7 +131,8 @@ fn main() {
         }
         if line.starts_with('\\') {
             println!(
-                "unknown command {line} — available: \\metrics, \\metrics prom, \\timing, \\q"
+                "unknown command {line} — available: \\metrics, \\metrics prom, \
+                 \\metrics reset, \\trace, \\trace slow, \\timing, \\q"
             );
             continue;
         }
