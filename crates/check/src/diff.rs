@@ -1,6 +1,7 @@
 //! The diff engine: replay a generated case through the real pipeline —
-//! every materialization mode, multiple thread counts — and through the
-//! naive oracle, and report the first divergence. A diverging case can be
+//! every materialization mode, multiple thread counts, both build-kernel
+//! paths (vectorized and scalar) — and through the naive oracle, and
+//! report the first divergence. A diverging case can be
 //! auto-shrunk ([`shrink`]) to a minimal reproducer and printed as a
 //! ready-to-paste regression test
 //! ([`CaseSpec::to_regression_test`]).
@@ -19,7 +20,9 @@ use tabula_core::loss::{
 use tabula_core::{MaterializationMode, SampleProvenance, SamplingCube, SamplingCubeBuilder};
 use tabula_serve::{AnswerCache, Server};
 use tabula_storage::cube::CellKey;
-use tabula_storage::{CmpOp, Predicate, RowId, Table, Value};
+use tabula_storage::{
+    kernel_mode, set_kernel_mode, CmpOp, KernelMode, Predicate, RowId, Table, Value,
+};
 
 /// Every materialization mode the diff engine sweeps.
 pub const MODES: [MaterializationMode; 4] = [
@@ -170,6 +173,45 @@ pub fn diff_with_loss<L: AccuracyLoss + Clone>(
             }
         }
     }
+    // The kernel-differential lane: rebuild every mode with the scalar
+    // reference kernels (`KernelMode::ForceScalar`) and require byte
+    // identity with the first-pass build, which ran whatever kernels the
+    // ambient mode selected (vectorized by default). Fuzz cases run
+    // sequentially in-process, so flipping the process-global mode here
+    // is safe; it is restored on every exit path.
+    let prev_kernel = kernel_mode();
+    set_kernel_mode(KernelMode::ForceScalar);
+    tabula_par::set_threads(THREAD_COUNTS[0]);
+    let scalar_pass = (|| {
+        for (m, &mode) in MODES.iter().enumerate() {
+            let cube =
+                SamplingCubeBuilder::new(Arc::clone(&table), &attr_refs, loss.clone(), case.theta)
+                    .mode(mode)
+                    .serfling(case.serfling_config())
+                    .seed(case.build_seed)
+                    .parallelism(THREAD_COUNTS[0])
+                    .build()
+                    .map_err(|e| Divergence {
+                        check: "build",
+                        detail: format!("{mode:?} scalar kernels: build failed: {e:?}"),
+                    })?;
+            if Fingerprint::of(&cube) != fingerprints[0][m] {
+                return Err(Divergence {
+                    check: "kernel_differential",
+                    detail: format!(
+                        "{mode:?}: cube built with scalar kernels differs from the \
+                         vectorized build at {} threads",
+                        THREAD_COUNTS[0]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    })();
+    set_kernel_mode(prev_kernel);
+    tabula_par::set_threads(0);
+    scalar_pass?;
+
     // Tabula and TabulaStar share the dry-run classifier verbatim, so
     // their materialized cell sets must match exactly (no borderline
     // allowance here).
@@ -737,12 +779,19 @@ impl CaseSpec {
 mod tests {
     use super::*;
     use crate::generate::gen_case;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that drive the diff engine: the engine's
+    /// kernel-differential lane flips the process-global kernel mode, so
+    /// concurrent runs would observe each other's transient ForceScalar.
+    static DIFF_LOCK: Mutex<()> = Mutex::new(());
 
     /// The clean pipeline must survive a handful of pinned seeds across
     /// every mode and thread count. (The heavyweight sweep lives in the
     /// `fuzz_check` bench binary and the fuzz-smoke CI job.)
     #[test]
     fn clean_pipeline_has_no_divergence_on_pinned_seeds() {
+        let _guard = DIFF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         for seed in [1, 2, 3, 4, 5] {
             let case = gen_case(seed);
             if let Err(d) = diff_case(&case) {
@@ -794,6 +843,7 @@ mod tests {
 
     #[test]
     fn injected_loss_kernel_bug_is_caught_and_shrunk() {
+        let _guard = DIFF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let check = |case: &CaseSpec| -> Option<Divergence> {
             let LossSpec::Mean { attr } = &case.loss else { return None };
             let table = case.table();
@@ -824,6 +874,21 @@ mod tests {
         // The clean kernel must pass the shrunk case: the bug is in the
         // sabotage, not the pipeline.
         assert!(diff_case(&shrunk.case).is_ok(), "clean kernel fails the shrunk case");
+    }
+
+    /// The kernel-differential lane must leave the process-global kernel
+    /// mode exactly as it found it, pass or fail — a leaked ForceScalar
+    /// would silently disable the vectorized kernels for the rest of the
+    /// process.
+    #[test]
+    fn kernel_lane_restores_the_ambient_kernel_mode() {
+        let _guard = DIFF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = kernel_mode();
+        set_kernel_mode(KernelMode::ForceVectorized);
+        let case = gen_case(7);
+        diff_case(&case).expect("pinned seed 7 is a clean case");
+        assert_eq!(kernel_mode(), KernelMode::ForceVectorized);
+        set_kernel_mode(prev);
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! implements the degraded materialization modes the paper evaluates
 //! against (Tabula\*, FullSamCube, PartSamCube), so the baseline crate and
 //! the benchmark harness share one code path per mode.
+//!
+//! The storage primitives the stages lean on — predicate filter, group-by,
+//! finest-cuboid aggregation, lattice rollup, semi-join — all run as
+//! chunked vectorized kernels over bit-packed dictionary codes when the
+//! cubed attributes' packed key fits 64 bits (see
+//! [`tabula_storage::kernel`]); the build produces byte-identical cubes in
+//! either kernel mode and at any thread count.
 
 use crate::cube::{BuildStats, SamplingCube};
 use crate::dryrun::dry_run;

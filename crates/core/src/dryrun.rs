@@ -5,6 +5,11 @@
 //! Because the accuracy loss is algebraic (see [`crate::loss`]), a single
 //! scan of the raw table builds the finest cuboid of per-cell loss states;
 //! every coarser cuboid is derived by merging states down the lattice.
+//! Both steps are the build's hottest loops and run vectorized when
+//! possible: the finest scan aggregates directly on bit-packed `u64` keys
+//! in [`chunk-sized`](tabula_storage::kernel::chunk_rows) batches, and the
+//! rollup squeezes each parent's packed key down to its child's with two
+//! shifts instead of re-hashing code tuples.
 //! Each cell's loss against the global sample is then evaluated from its
 //! state alone: cells with `loss(cell, Sam_global) > θ` are **iceberg
 //! cells** and are handed to the real run for local-sample

@@ -11,6 +11,11 @@
 //!   cuboid has few iceberg cells);
 //! * **group-everything** — a plain full-table group-by.
 //!
+//! Both plans ride the vectorized storage kernels when the cuboid's
+//! bit-packed key fits 64 bits: the semi-join probes a packed `u64` cell
+//! set and the group-by hashes one packed word per row (see
+//! [`tabula_storage::kernel`]), with identical results either way.
+//!
 //! Local samples are then drawn per cell with the accuracy-loss-aware
 //! greedy sampler, scheduled on the shared `tabula-par` work-stealing
 //! pool (the per-cell work is embarrassingly parallel, and each cell's

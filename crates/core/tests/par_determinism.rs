@@ -173,6 +173,35 @@ fn refreshed_cube_is_identical_across_thread_counts() {
     }
 }
 
+/// The chunked vectorized build kernels (bit-packed group-by keys, packed
+/// finest-cuboid aggregation, packed rollup) must be as invisible as the
+/// thread count: a cube built under `TABULA_KERNELS=scalar` is
+/// byte-identical to one built with the vectorized kernels, at any thread
+/// count — float bits included, because both kernels fold rows and merge
+/// parents in the same canonical order.
+#[test]
+fn cube_is_identical_across_kernel_modes_and_thread_counts() {
+    use tabula_storage::{set_kernel_mode, KernelMode};
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 8_000, seed: 31 }).generate());
+    let prev = tabula_storage::kernel_mode();
+    set_kernel_mode(KernelMode::ForceScalar);
+    let baseline = fingerprint(&build(&table, 1));
+    assert!(!baseline.cells.is_empty());
+    for (mode, threads) in [
+        (KernelMode::ForceScalar, 8usize),
+        (KernelMode::ForceVectorized, 1),
+        (KernelMode::ForceVectorized, 8),
+        (KernelMode::Auto, 2),
+    ] {
+        set_kernel_mode(mode);
+        let got = fingerprint(&build(&table, threads));
+        assert_eq!(baseline.iceberg_cells, got.iceberg_cells, "{mode:?} x{threads}");
+        assert_eq!(baseline.global_sample, got.global_sample, "{mode:?} x{threads}");
+        assert_eq!(baseline.cells, got.cells, "cube differs under {mode:?} x{threads}");
+    }
+    set_kernel_mode(prev);
+}
+
 #[test]
 fn provenance_counters_are_thread_count_independent() {
     let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 6_000, seed: 23 }).generate());

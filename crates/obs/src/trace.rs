@@ -103,13 +103,16 @@ impl TraceProvenance {
 }
 
 /// One recorded stage: elapsed nanos (clamped to ≥ 1 so a recorded stage is
-/// always distinguishable from an absent one) plus rows/bytes touched.
+/// always distinguishable from an absent one) plus rows/bytes touched and,
+/// for chunked kernels, the number of execution chunks the stage ran as
+/// (0 for non-chunked stages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageRecord {
     pub stage: Stage,
     pub ns: u64,
     pub rows: u64,
     pub bytes: u64,
+    pub chunks: u64,
 }
 
 /// Stack-carried per-query trace context.
@@ -170,12 +173,26 @@ impl QueryTrace {
     /// recording elapsed nanos (≥ 1) and the rows/bytes it touched.
     #[inline]
     pub fn stage(&mut self, stage: Stage, started: Option<Instant>, rows: u64, bytes: u64) {
+        self.stage_chunks(stage, started, rows, bytes, 0);
+    }
+
+    /// [`stage`](Self::stage) for chunked kernels: additionally records how
+    /// many execution chunks the stage was carved into.
+    #[inline]
+    pub fn stage_chunks(
+        &mut self,
+        stage: Stage,
+        started: Option<Instant>,
+        rows: u64,
+        bytes: u64,
+        chunks: u64,
+    ) {
         let Some(started) = started else { return };
         if !self.enabled || self.n >= MAX_STAGES {
             return;
         }
         let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX).max(1);
-        self.stages[self.n] = Some(StageRecord { stage, ns, rows, bytes });
+        self.stages[self.n] = Some(StageRecord { stage, ns, rows, bytes, chunks });
         self.n += 1;
     }
 
@@ -286,11 +303,12 @@ impl CompletedTrace {
             }
             let _ = write!(
                 out,
-                "{{\"stage\":\"{}\",\"ns\":{},\"rows\":{},\"bytes\":{}}}",
+                "{{\"stage\":\"{}\",\"ns\":{},\"rows\":{},\"bytes\":{},\"chunks\":{}}}",
                 s.stage.name(),
                 s.ns,
                 s.rows,
-                s.bytes
+                s.bytes,
+                s.chunks
             );
         }
         out.push_str("]}");
@@ -300,6 +318,11 @@ impl CompletedTrace {
     /// The recorded nanos of `stage`, if it ran.
     pub fn stage_ns(&self, stage: Stage) -> Option<u64> {
         self.stages.iter().find(|s| s.stage == stage).map(|s| s.ns)
+    }
+
+    /// The recorded chunk count of `stage`, if it ran.
+    pub fn stage_chunks(&self, stage: Stage) -> Option<u64> {
+        self.stages.iter().find(|s| s.stage == stage).map(|s| s.chunks)
     }
 }
 
@@ -605,6 +628,20 @@ mod tests {
             assert!(line.contains("\"provenance\":\"local_direct\""), "{line}");
             assert!(line.contains("\"stage\":\"compile\""), "{line}");
         }
+    }
+
+    #[test]
+    fn stage_chunks_ride_along() {
+        let tracer = Tracer::new(1, 100, 8);
+        let mut t = tracer.begin();
+        let s = t.stage_start();
+        t.stage_chunks(Stage::Scan, s, 4096, 32768, 2);
+        let s = t.stage_start();
+        t.stage(Stage::Materialize, s, 10, 80);
+        let done = tracer.finish(t).unwrap();
+        assert_eq!(done.stage_chunks(Stage::Scan), Some(2));
+        assert_eq!(done.stage_chunks(Stage::Materialize), Some(0));
+        assert!(done.to_json().contains("\"chunks\":2"), "{}", done.to_json());
     }
 
     #[test]

@@ -454,8 +454,10 @@ impl Session {
                     .get(table)
                     .ok_or(SqlError::Unknown { kind: "table", name: table.clone() })?;
                 let pred = predicate_of(conditions);
-                let (rows, _stats) = scan_traced(&pred, t, &mut trace)?;
-                (rows.len(), "Scan".to_string())
+                let (rows, stats) = scan_traced(&pred, t, &mut trace)?;
+                // Surface which filter kernel ran (vectorized chunked vs
+                // row-at-a-time scalar) in the answer line.
+                (rows.len(), format!("Scan[{}]", stats.kernel.name()))
             }
             // The parser only wraps SELECTs, but a hand-built AST could
             // carry anything.
@@ -510,7 +512,7 @@ fn scan_traced(
     } else {
         (pred.filter(t)?, ScanStats::default())
     };
-    trace.stage(Stage::Scan, stage, stats.rows_matched, stats.bytes_scanned);
+    trace.stage_chunks(Stage::Scan, stage, stats.rows_matched, stats.bytes_scanned, stats.chunks);
     trace.set_provenance(TraceProvenance::Scan);
     Ok((rows, stats))
 }
@@ -536,14 +538,18 @@ fn render_explain(
     if !trace.cell.is_empty() {
         lines.push(format!("cell: {}", trace.cell));
     }
-    lines.push(format!("{:<12} {:>12} {:>10} {:>12}", "stage", "time", "rows", "bytes"));
+    lines.push(format!(
+        "{:<12} {:>12} {:>10} {:>12} {:>8}",
+        "stage", "time", "rows", "bytes", "chunks"
+    ));
     for s in &trace.stages {
         lines.push(format!(
-            "{:<12} {:>12} {:>10} {:>12}",
+            "{:<12} {:>12} {:>10} {:>12} {:>8}",
             s.stage.name(),
             fmt_ns(s.ns),
             s.rows,
-            s.bytes
+            s.bytes,
+            s.chunks
         ));
     }
     lines

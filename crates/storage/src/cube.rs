@@ -13,14 +13,26 @@
 //! data-cube optimization the paper leans on for its dry-run stage.
 //!
 //! Both halves run on the morsel-driven pool (`tabula-par`): the scan is
-//! partition-parallel hash aggregation (per-morsel partial maps merged in
+//! partition-parallel hash aggregation (per-morsel partial tables merged in
 //! ascending morsel order), and the rollup proceeds level-synchronously —
 //! all cuboids of one arity derive from their (already finished) parents
 //! in parallel. Results are byte-identical for any `TABULA_THREADS`.
+//!
+//! Both halves are **vectorized** (see [`crate::kernel`]): when the
+//! bit-packed key of the cubed attributes fits 64 bits (`Σ ⌈log₂ cᵢ⌉ ≤ 64`,
+//! true for any realistic dashboard cube), the scan aggregates chunk-wise
+//! directly on packed `u64` code buffers — probe a slot per key, then fold
+//! rows into a dense state vector — and the rollup squeezes the removed
+//! attribute's bit field out of each parent key without re-decoding.
+//! Every derivation scans its parent in ascending-key order (for packed
+//! keys that *is* lexicographic order of the code tuples), so per-cell
+//! merge sequences — and therefore floating-point bits — depend only on
+//! cube content, never on hash-map layout, kernel mode, or thread count.
 
 use crate::agg::AggState;
 use crate::fx::FxHashMap;
-use crate::packed::PackedCodes;
+use crate::kernel;
+use crate::packed::{KeyLayout, PackedCodes, PackedKeyBuf};
 use crate::table::{Cat, RowId, Table};
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -301,11 +313,43 @@ where
 {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+    let started = std::time::Instant::now();
+    let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
+    let layout = if kernel::vectorize() { KeyLayout::from_cardinalities(&cards) } else { None };
+    let metrics = tabula_obs::global();
+    let out = match &layout {
+        Some(layout) => {
+            metrics.counter("cube.kernel.vectorized").inc();
+            finest_vectorized(table, layout, &code_slices, &make, &fold)
+        }
+        None => {
+            metrics.counter("cube.kernel.scalar").inc();
+            finest_scalar(table, cols.len(), &code_slices, &make, &fold)
+        }
+    };
+    metrics.counter("cube.scan_rows").add(table.len() as u64);
+    metrics.counter("cube.kernel_ns").add(started.elapsed().as_nanos() as u64);
+    Ok(out)
+}
+
+/// Row-at-a-time reference scan: per-morsel slice-keyed hash aggregation.
+fn finest_scalar<S, M, F>(
+    table: &Table,
+    width: usize,
+    code_slices: &[&[u32]],
+    make: &M,
+    fold: &F,
+) -> FxHashMap<Vec<u32>, S>
+where
+    S: AggState,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, RowId) + Sync,
+{
     let pool = Pool::global();
     let partials = pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
         let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
-        let mut packed = PackedCodes::new(cols.len());
-        packed.fill_range(&code_slices, range.clone());
+        let mut packed = PackedCodes::new(width);
+        packed.fill_range(code_slices, range.clone());
         for (i, row) in range.enumerate() {
             let key = packed.key(i);
             match groups.get_mut(key) {
@@ -319,7 +363,87 @@ where
         }
         groups
     });
-    Ok(merge_partial_states(partials))
+    merge_partial_states(partials)
+}
+
+/// Chunked scan on bit-packed `u64` keys.
+///
+/// Each chunk runs in two passes: a *probe* pass maps the chunk's packed
+/// keys to dense slot indices (inserting new slots in first-seen order),
+/// then a *fold* pass updates the slot states in row order — the
+/// accumulators advance per-chunk, not per-row-with-hash-lookup. Per-key
+/// fold order (ascending rows within a morsel), morsel merge order, and
+/// final first-seen insertion order are all identical to
+/// [`finest_scalar`], so the two kernels produce byte-identical maps.
+fn finest_vectorized<S, M, F>(
+    table: &Table,
+    layout: &KeyLayout,
+    code_slices: &[&[u32]],
+    make: &M,
+    fold: &F,
+) -> FxHashMap<Vec<u32>, S>
+where
+    S: AggState,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, RowId) + Sync,
+{
+    let chunk = kernel::chunk_rows();
+    let pool = Pool::global();
+    let partials: Vec<(Vec<u64>, Vec<S>)> =
+        pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
+            let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut keys: Vec<u64> = Vec::new();
+            let mut states: Vec<S> = Vec::new();
+            let mut packed = PackedKeyBuf::new();
+            let mut slot_ix: Vec<u32> = Vec::with_capacity(chunk);
+            let mut start = range.start;
+            while start < range.end {
+                let end = range.end.min(start + chunk);
+                packed.fill_range(layout, code_slices, start..end);
+                slot_ix.clear();
+                for &k in packed.keys() {
+                    let slot = match slots.get(&k) {
+                        Some(&s) => s,
+                        None => {
+                            let s = keys.len() as u32;
+                            slots.insert(k, s);
+                            keys.push(k);
+                            states.push(make());
+                            s
+                        }
+                    };
+                    slot_ix.push(slot);
+                }
+                for (i, &slot) in slot_ix.iter().enumerate() {
+                    fold(&mut states[slot as usize], (start + i) as RowId);
+                }
+                start = end;
+            }
+            (keys, states)
+        });
+    // Slot-level ordered merge in ascending morsel order, then one decode
+    // at the end — the scan itself never touches `Vec<u32>` keys.
+    let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut states: Vec<S> = Vec::new();
+    for (pkeys, pstates) in partials {
+        for (k, s) in pkeys.into_iter().zip(pstates) {
+            match slots.get(&k) {
+                Some(&slot) => states[slot as usize].merge(&s),
+                None => {
+                    slots.insert(k, keys.len() as u32);
+                    keys.push(k);
+                    states.push(s);
+                }
+            }
+        }
+    }
+    let mut out: FxHashMap<Vec<u32>, S> = FxHashMap::default();
+    out.reserve(keys.len());
+    for (k, s) in keys.into_iter().zip(states) {
+        out.insert(layout.decode(k), s);
+    }
+    out
 }
 
 /// Merge per-morsel partial state maps in morsel order. Insertion order of
@@ -364,25 +488,12 @@ where
     Ok(rollup_from_finest(n, finest, &make))
 }
 
-/// Derive one child cuboid by rolling `removed_idx` out of its parent's
-/// compact keys.
-fn derive_child<S, M>(
-    parent_groups: &FxHashMap<Vec<u32>, S>,
-    removed_idx: usize,
-    make: &M,
-) -> FxHashMap<Vec<u32>, S>
-where
-    S: AggState,
-    M: Fn() -> S,
-{
-    let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
-    for (pkey, state) in parent_groups {
-        let mut ckey = Vec::with_capacity(pkey.len() - 1);
-        ckey.extend_from_slice(&pkey[..removed_idx]);
-        ckey.extend_from_slice(&pkey[removed_idx + 1..]);
-        groups.entry(ckey).or_insert_with(make).merge(state);
-    }
-    groups
+/// Position, within the parent's compact key, of the attribute rolled
+/// away when deriving `mask` from `parent`.
+fn removed_index(parent: CuboidMask, mask: CuboidMask) -> usize {
+    let removed_attr = parent.0 & !mask.0;
+    debug_assert_eq!(removed_attr.count_ones(), 1);
+    (parent.0 & (removed_attr - 1)).count_ones() as usize
 }
 
 /// Derive the full lattice from a precomputed finest cuboid.
@@ -390,31 +501,147 @@ where
 /// The rollup is **level-synchronous**: all cuboids of one arity depend
 /// only on cuboids of arity+1, so each level's (independent) derivations
 /// run in parallel on the morsel pool. Every child is derived from a
-/// single parent by one sequential pass, so the result does not depend on
-/// the thread count.
+/// single parent by one sequential pass over the parent's cells in
+/// **ascending lexicographic key order** — a canonical order, so per-cell
+/// merge sequences (and their float bits) are a function of cube content
+/// alone: independent of thread count, hash-map layout, and kernel mode.
+///
+/// When the bit-packed key of the observed per-position cardinalities fits
+/// 64 bits, the whole lattice is rolled up on packed `u64` keys: each
+/// parent key maps to its child key by [`KeyLayout::squeeze`] (two shifts
+/// and a mask — no decode), and sorting packed entries by `u64` *is* the
+/// lexicographic order the scalar path sorts by.
 pub fn rollup_from_finest<S, M>(n: usize, finest: FxHashMap<Vec<u32>, S>, make: &M) -> CubeResult<S>
 where
     S: AggState,
     M: Fn() -> S + Sync,
 {
-    let mut cuboids: FxHashMap<CuboidMask, FxHashMap<Vec<u32>, S>> = FxHashMap::default();
-    cuboids.insert(CuboidMask::finest(n), finest);
+    let mut entries: Vec<(Vec<u32>, S)> = finest.into_iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    // Observed cardinality bound per position (max code + 1): enough for
+    // an injective packing of every key the rollup will ever see.
+    let mut cards = vec![0usize; n];
+    for (key, _) in &entries {
+        for (i, &c) in key.iter().enumerate() {
+            cards[i] = cards[i].max(c as usize + 1);
+        }
+    }
+    let layout = if kernel::vectorize() { KeyLayout::from_cardinalities(&cards) } else { None };
+    match layout {
+        Some(layout) => rollup_packed(n, entries, layout, make),
+        None => rollup_scalar(n, entries, make),
+    }
+}
+
+/// Lattice rollup on bit-packed `u64` keys.
+fn rollup_packed<S, M>(
+    n: usize,
+    entries: Vec<(Vec<u32>, S)>,
+    layout: KeyLayout,
+    make: &M,
+) -> CubeResult<S>
+where
+    S: AggState,
+    M: Fn() -> S + Sync,
+{
+    let finest: Vec<(u64, S)> =
+        entries.into_iter().map(|(key, s)| (layout.encode(&key), s)).collect();
+    // Lex-sorted tuples pack to ascending u64 keys (attr 0 sits highest).
+    debug_assert!(finest.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut packed: FxHashMap<CuboidMask, (KeyLayout, Vec<(u64, S)>)> = FxHashMap::default();
+    packed.insert(CuboidMask::finest(n), (layout, finest));
     let pool = Pool::global();
     for arity in (0..n as u32).rev() {
         let masks: Vec<CuboidMask> =
             (0..(1u64 << n) as u32).map(CuboidMask).filter(|m| m.arity() == arity).collect();
-        let derived: Vec<FxHashMap<Vec<u32>, S>> = pool.par_map(&masks, |&mask| {
+        let derived: Vec<(KeyLayout, Vec<(u64, S)>)> = pool.par_map(&masks, |&mask| {
             let parent = mask.a_parent(n).expect("every non-finest cuboid has a parent");
-            // Position (within the parent's compact key) of the attribute
-            // being rolled away.
-            let removed_attr = parent.0 & !mask.0;
-            debug_assert_eq!(removed_attr.count_ones(), 1);
-            let removed_idx = (parent.0 & (removed_attr - 1)).count_ones() as usize;
-            derive_child(&cuboids[&parent], removed_idx, make)
+            let removed_idx = removed_index(parent, mask);
+            let (playout, pentries) = &packed[&parent];
+            let clayout = playout.without_attr(removed_idx);
+            let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut out: Vec<(u64, S)> = Vec::new();
+            for (pkey, state) in pentries {
+                let ckey = playout.squeeze(*pkey, removed_idx);
+                match slots.get(&ckey) {
+                    Some(&slot) => out[slot as usize].1.merge(state),
+                    None => {
+                        slots.insert(ckey, out.len() as u32);
+                        let mut s = make();
+                        s.merge(state);
+                        out.push((ckey, s));
+                    }
+                }
+            }
+            out.sort_unstable_by_key(|e| e.0);
+            (clayout, out)
         });
-        for (mask, groups) in masks.into_iter().zip(derived) {
-            cuboids.insert(mask, groups);
+        for (mask, d) in masks.into_iter().zip(derived) {
+            packed.insert(mask, d);
         }
+    }
+    let mut cuboids: FxHashMap<CuboidMask, FxHashMap<Vec<u32>, S>> = FxHashMap::default();
+    for (mask, (l, es)) in packed {
+        let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
+        groups.reserve(es.len());
+        for (k, s) in es {
+            groups.insert(l.decode(k), s);
+        }
+        cuboids.insert(mask, groups);
+    }
+    CubeResult { n, cuboids }
+}
+
+/// Reference rollup on compact `Vec<u32>` keys (packed key over 64 bits,
+/// or `TABULA_KERNELS=scalar`). Scans parents in the same ascending
+/// lexicographic order as [`rollup_packed`], so both produce identical
+/// states.
+fn rollup_scalar<S, M>(n: usize, entries: Vec<(Vec<u32>, S)>, make: &M) -> CubeResult<S>
+where
+    S: AggState,
+    M: Fn() -> S + Sync,
+{
+    let mut sorted: FxHashMap<CuboidMask, Vec<(Vec<u32>, S)>> = FxHashMap::default();
+    sorted.insert(CuboidMask::finest(n), entries);
+    let pool = Pool::global();
+    for arity in (0..n as u32).rev() {
+        let masks: Vec<CuboidMask> =
+            (0..(1u64 << n) as u32).map(CuboidMask).filter(|m| m.arity() == arity).collect();
+        let derived: Vec<Vec<(Vec<u32>, S)>> = pool.par_map(&masks, |&mask| {
+            let parent = mask.a_parent(n).expect("every non-finest cuboid has a parent");
+            let removed_idx = removed_index(parent, mask);
+            let pentries = &sorted[&parent];
+            let mut slots: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+            let mut out: Vec<(Vec<u32>, S)> = Vec::new();
+            for (pkey, state) in pentries {
+                let mut ckey = Vec::with_capacity(pkey.len() - 1);
+                ckey.extend_from_slice(&pkey[..removed_idx]);
+                ckey.extend_from_slice(&pkey[removed_idx + 1..]);
+                match slots.get(&ckey) {
+                    Some(&slot) => out[slot as usize].1.merge(state),
+                    None => {
+                        slots.insert(ckey.clone(), out.len() as u32);
+                        let mut s = make();
+                        s.merge(state);
+                        out.push((ckey, s));
+                    }
+                }
+            }
+            out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            out
+        });
+        for (mask, d) in masks.into_iter().zip(derived) {
+            sorted.insert(mask, d);
+        }
+    }
+    let mut cuboids: FxHashMap<CuboidMask, FxHashMap<Vec<u32>, S>> = FxHashMap::default();
+    for (mask, es) in sorted {
+        let mut groups: FxHashMap<Vec<u32>, S> = FxHashMap::default();
+        groups.reserve(es.len());
+        for (k, s) in es {
+            groups.insert(k, s);
+        }
+        cuboids.insert(mask, groups);
     }
     CubeResult { n, cuboids }
 }

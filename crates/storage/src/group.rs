@@ -1,13 +1,21 @@
 //! Hash group-by on categorical attribute tuples.
 //!
-//! Grouping is morsel-parallel: each ~64k-row morsel packs its codes into
-//! a row-major buffer ([`crate::packed::PackedCodes`], no per-row
-//! allocation) and builds a partial map; partials merge in ascending
-//! morsel order, so group contents, their row order, and map insertion
-//! order are all independent of `TABULA_THREADS`.
+//! Grouping is morsel-parallel: each ~64k-row morsel packs its codes and
+//! builds a partial table; partials merge in ascending morsel order, so
+//! group contents, their row order, and map insertion order are all
+//! independent of `TABULA_THREADS`.
+//!
+//! When the bit-packed key fits 64 bits (see [`crate::packed::KeyLayout`])
+//! the kernel is vectorized: chunks of [`crate::kernel::chunk_rows`] rows
+//! pack into a `u64` key buffer, probe a slot map, and append members to
+//! dense per-slot vectors — one word hashed per row, no slice keys, no
+//! per-group key allocation until the final decode. The scalar slice-key
+//! path remains as the fallback (and the `TABULA_KERNELS=scalar`
+//! reference); both produce identical results.
 
 use crate::fx::FxHashMap;
-use crate::packed::PackedCodes;
+use crate::kernel;
+use crate::packed::{KeyLayout, PackedCodes, PackedKeyBuf};
 use crate::table::{Cat, RowId, Table};
 use crate::Result;
 use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
@@ -32,29 +40,140 @@ impl GroupedRows {
     }
 }
 
+/// The two row sources a grouping kernel can scan: every row of the table
+/// (contiguous — no row-id indirection), or an explicit subset.
+enum RowSrc<'a> {
+    All(usize),
+    Subset(&'a [RowId]),
+}
+
+impl RowSrc<'_> {
+    fn len(&self) -> usize {
+        match self {
+            RowSrc::All(n) => *n,
+            RowSrc::Subset(rows) => rows.len(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> RowId {
+        match self {
+            RowSrc::All(_) => i as RowId,
+            RowSrc::Subset(rows) => rows[i],
+        }
+    }
+}
+
 /// Group all rows of `table` by the categorical columns `cols`.
 ///
 /// Cost: one pass over the data, hashing one small integer tuple per row —
 /// this is the `GroupBy` primitive the paper's cost model (Inequality 1)
-/// prices as `N·log_k(N)`.
+/// prices as `N·log_k(N)`. The full-table form scans contiguous ranges
+/// directly; no row-id list is materialized.
 pub fn group_by(table: &Table, cols: &[usize]) -> Result<GroupedRows> {
-    let rows: Vec<RowId> = table.all_rows();
-    group_rows(table, cols, &rows)
+    group_impl(table, cols, RowSrc::All(table.len()))
 }
 
 /// Group an explicit subset of rows of `table` by the categorical columns
 /// `cols`. Used by the real-run stage after pruning to iceberg-cell rows.
 pub fn group_rows(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<GroupedRows> {
+    group_impl(table, cols, RowSrc::Subset(rows))
+}
+
+fn group_impl(table: &Table, cols: &[usize], src: RowSrc<'_>) -> Result<GroupedRows> {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+    let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
+    let layout = if kernel::vectorize() { KeyLayout::from_cardinalities(&cards) } else { None };
+    let groups = match &layout {
+        Some(layout) => group_vectorized(layout, &code_slices, &src),
+        None => group_scalar(cols.len(), &code_slices, &src),
+    };
+    Ok(GroupedRows { groups })
+}
+
+/// Chunked grouping on bit-packed `u64` keys: per morsel, each chunk packs
+/// its keys, probes the slot map, and appends members to dense per-slot
+/// vectors; morsel partials merge in ascending order and decode once at
+/// the end. First-seen group order and member order match [`group_scalar`]
+/// exactly.
+fn group_vectorized(
+    layout: &KeyLayout,
+    code_slices: &[&[u32]],
+    src: &RowSrc<'_>,
+) -> FxHashMap<Vec<u32>, Vec<RowId>> {
+    let chunk = kernel::chunk_rows();
     let pool = Pool::global();
-    let partials = pool.par_chunks(rows.len(), DEFAULT_MORSEL_ROWS, |range| {
-        let morsel = &rows[range];
-        let mut packed = PackedCodes::new(cols.len());
-        packed.fill(&code_slices, morsel);
+    let partials: Vec<(Vec<u64>, Vec<Vec<RowId>>)> =
+        pool.par_chunks(src.len(), DEFAULT_MORSEL_ROWS, |range| {
+            let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut keys: Vec<u64> = Vec::new();
+            let mut members: Vec<Vec<RowId>> = Vec::new();
+            let mut packed = PackedKeyBuf::new();
+            let mut start = range.start;
+            while start < range.end {
+                let end = range.end.min(start + chunk);
+                match src {
+                    RowSrc::All(_) => packed.fill_range(layout, code_slices, start..end),
+                    RowSrc::Subset(rows) => packed.fill(layout, code_slices, &rows[start..end]),
+                }
+                for (i, &k) in packed.keys().iter().enumerate() {
+                    let slot = match slots.get(&k) {
+                        Some(&s) => s,
+                        None => {
+                            let s = keys.len() as u32;
+                            slots.insert(k, s);
+                            keys.push(k);
+                            members.push(Vec::new());
+                            s
+                        }
+                    };
+                    members[slot as usize].push(src.row(start + i));
+                }
+                start = end;
+            }
+            (keys, members)
+        });
+    let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut members: Vec<Vec<RowId>> = Vec::new();
+    for (pkeys, pmembers) in partials {
+        for (k, mut m) in pkeys.into_iter().zip(pmembers) {
+            match slots.get(&k) {
+                Some(&slot) => members[slot as usize].append(&mut m),
+                None => {
+                    slots.insert(k, keys.len() as u32);
+                    keys.push(k);
+                    members.push(m);
+                }
+            }
+        }
+    }
+    let mut groups: FxHashMap<Vec<u32>, Vec<RowId>> = FxHashMap::default();
+    groups.reserve(keys.len());
+    for (k, m) in keys.into_iter().zip(members) {
+        groups.insert(layout.decode(k), m);
+    }
+    groups
+}
+
+/// Row-at-a-time reference grouping on row-major `u32` slice keys.
+fn group_scalar(
+    width: usize,
+    code_slices: &[&[u32]],
+    src: &RowSrc<'_>,
+) -> FxHashMap<Vec<u32>, Vec<RowId>> {
+    let pool = Pool::global();
+    let partials = pool.par_chunks(src.len(), DEFAULT_MORSEL_ROWS, |range| {
+        let mut packed = PackedCodes::new(width);
+        match src {
+            RowSrc::All(_) => packed.fill_range(code_slices, range.clone()),
+            RowSrc::Subset(rows) => packed.fill(code_slices, &rows[range.clone()]),
+        }
         let mut groups: FxHashMap<Vec<u32>, Vec<RowId>> = FxHashMap::default();
-        for (i, &row) in morsel.iter().enumerate() {
+        for (i, at) in range.enumerate() {
             let key = packed.key(i);
+            let row = src.row(at);
             match groups.get_mut(key) {
                 Some(v) => v.push(row),
                 None => {
@@ -78,7 +197,7 @@ pub fn group_rows(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<Group
             }
         }
     }
-    Ok(GroupedRows { groups })
+    groups
 }
 
 /// Project each row of `rows` to its code tuple under `cols` without
@@ -171,5 +290,21 @@ mod tests {
         let codes = project_codes(&t, &[0, 1], &[0, 3]).unwrap();
         let keys: Vec<&[u32]> = codes.keys().collect();
         assert_eq!(keys, vec![&[0, 0][..], &[2, 2][..]]);
+    }
+
+    #[test]
+    fn scalar_and_vectorized_groupings_agree() {
+        use crate::kernel::{set_kernel_mode, KernelMode};
+        let t = table();
+        let prev = crate::kernel::kernel_mode();
+        set_kernel_mode(KernelMode::ForceScalar);
+        let scalar = group_by(&t, &[0, 1]).unwrap();
+        let scalar_sub = group_rows(&t, &[0, 1], &[5, 1, 0]).unwrap();
+        set_kernel_mode(KernelMode::ForceVectorized);
+        let vector = group_by(&t, &[0, 1]).unwrap();
+        let vector_sub = group_rows(&t, &[0, 1], &[5, 1, 0]).unwrap();
+        set_kernel_mode(prev);
+        assert_eq!(scalar.groups, vector.groups);
+        assert_eq!(scalar_sub.groups, vector_sub.groups);
     }
 }

@@ -8,7 +8,8 @@
 //! stream the raw rows through it.
 
 use crate::fx::FxHashSet;
-use crate::packed::PackedCodes;
+use crate::kernel;
+use crate::packed::{KeyLayout, PackedCodes, PackedKeyBuf};
 use crate::table::{Cat, RowId, Table};
 use crate::Result;
 use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
@@ -20,12 +21,22 @@ use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
 /// The probe side streams morsel-parallel through the (small) build-side
 /// hash set; per-morsel matches concatenate in morsel order, preserving
 /// the ascending-row-id contract for any thread count.
+///
+/// When the bit-packed key fits 64 bits the probe is vectorized: the
+/// build side re-encodes into a `u64` set (dropping cells whose codes
+/// exceed the probe table's dictionary domains — those can match no row),
+/// and each chunk probes one packed word per row.
 pub fn semi_join(table: &Table, cols: &[usize], cells: &FxHashSet<Vec<u32>>) -> Result<Vec<RowId>> {
     if cells.is_empty() {
         return Ok(Vec::new());
     }
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
     let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+    let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
+    let layout = if kernel::vectorize() { KeyLayout::from_cardinalities(&cards) } else { None };
+    if let Some(layout) = layout {
+        return Ok(semi_join_vectorized(table, &layout, &code_slices, cells));
+    }
     let pool = Pool::global();
     let partials = pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
         let mut packed = PackedCodes::new(cols.len());
@@ -39,6 +50,41 @@ pub fn semi_join(table: &Table, cols: &[usize], cells: &FxHashSet<Vec<u32>>) -> 
         out
     });
     Ok(partials.concat())
+}
+
+fn semi_join_vectorized(
+    table: &Table,
+    layout: &KeyLayout,
+    code_slices: &[&[u32]],
+    cells: &FxHashSet<Vec<u32>>,
+) -> Vec<RowId> {
+    // Build side: pack each cell key. A cell with any code outside the
+    // probe table's dictionary domain cannot equal any row's projection,
+    // so it is dropped rather than aliased into the packed domain.
+    let packed_cells: FxHashSet<u64> =
+        cells.iter().filter(|key| layout.fits(key)).map(|key| layout.encode(key)).collect();
+    if packed_cells.is_empty() {
+        return Vec::new();
+    }
+    let chunk = kernel::chunk_rows();
+    let pool = Pool::global();
+    let partials = pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
+        let mut packed = PackedKeyBuf::new();
+        let mut out = Vec::new();
+        let mut start = range.start;
+        while start < range.end {
+            let end = range.end.min(start + chunk);
+            packed.fill_range(layout, code_slices, start..end);
+            for (i, k) in packed.keys().iter().enumerate() {
+                if packed_cells.contains(k) {
+                    out.push((start + i) as RowId);
+                }
+            }
+            start = end;
+        }
+        out
+    });
+    partials.concat()
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ pub mod dictionary;
 pub mod fx;
 pub mod group;
 pub mod join;
+pub mod kernel;
 pub mod packed;
 pub mod predicate;
 pub mod schema;
@@ -43,8 +44,9 @@ pub use cube::{CellKey, CuboidMask, Lattice};
 pub use dictionary::Dictionary;
 pub use fx::{FxHashMap, FxHashSet};
 pub use group::{group_by, GroupedRows};
-pub use packed::PackedCodes;
-pub use predicate::{CmpOp, Predicate, ScanStats};
+pub use kernel::{chunk_rows, kernel_mode, set_kernel_mode, KernelMode, SelectionVector};
+pub use packed::{KeyLayout, PackedCodes, PackedKeyBuf};
+pub use predicate::{CmpOp, Predicate, ScanKernel, ScanStats};
 pub use schema::{Field, Schema};
 pub use table::{RowId, Table, TableBuilder};
 pub use types::{ColumnType, Point, Value};

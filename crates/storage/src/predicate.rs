@@ -4,10 +4,24 @@
 //! attributes with equality, and baselines additionally filter measure
 //! columns by range, so the predicate language covers conjunctions of
 //! per-column comparisons.
+//!
+//! Full-table filtering runs as a chunked columnar kernel (see
+//! [`crate::kernel`]): each term compiles to a typed kernel over the
+//! column's native slice (dictionary codes, `i64`, `f64` — string
+//! ordering terms precompute a per-code lookup table so no row ever
+//! materializes a `String`), and a [`SelectionVector`] carries the
+//! surviving row ids of each chunk through the conjunction. The
+//! row-at-a-time scalar path remains as the `TABULA_KERNELS=scalar`
+//! reference; both produce identical row sets by construction (each
+//! kernel replicates [`compare`]'s exact semantics, `NaN` and
+//! mixed-type cases included).
 
+use crate::dictionary::Dictionary;
+use crate::kernel::{self, SelectionVector};
 use crate::table::{RowId, Table};
 use crate::types::Value;
 use crate::{Result, StorageError};
+use tabula_par::{Pool, DEFAULT_MORSEL_ROWS};
 
 /// Comparison operator of a single predicate term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,34 +103,44 @@ impl Predicate {
     /// Evaluate over `table`, returning matching row ids in ascending order.
     ///
     /// Categorical equality terms are evaluated on dictionary codes (one
-    /// integer compare per row); other terms fall back to typed compares.
+    /// integer compare per row); other terms run typed chunk kernels.
     /// The scan is morsel-parallel; per-morsel matches concatenate in
     /// morsel order, so output order is ascending regardless of thread
     /// count.
     pub fn filter(&self, table: &Table) -> Result<Vec<RowId>> {
-        let compiled = self.compile(table)?;
-        let pool = tabula_par::Pool::global();
-        let partials = pool.par_chunks(table.len(), tabula_par::DEFAULT_MORSEL_ROWS, |range| {
-            let mut out = Vec::new();
-            'rows: for row in range {
-                for term in &compiled {
-                    if !term.matches(table, row) {
-                        continue 'rows;
-                    }
-                }
-                out.push(row as RowId);
-            }
-            out
-        });
-        Ok(partials.concat())
+        Ok(self.filter_impl(table)?.0)
     }
 
     /// [`filter`](Self::filter) plus a [`ScanStats`] accounting of the work
-    /// done — the scan-path stage hook the tracing layer records (rows and
-    /// bytes touched by a raw-table fallback query).
+    /// done — the scan-path stage hook the tracing layer records (rows,
+    /// bytes, chunk count, and kernel selection of a raw-table fallback
+    /// query). Compiles the predicate once; the stats ride along for free.
     pub fn filter_with_stats(&self, table: &Table) -> Result<(Vec<RowId>, ScanStats)> {
-        let rows = self.filter(table)?;
+        self.filter_impl(table)
+    }
+
+    fn filter_impl(&self, table: &Table) -> Result<(Vec<RowId>, ScanStats)> {
         let compiled = self.compile(table)?;
+        let started = std::time::Instant::now();
+        let vec_terms =
+            if kernel::vectorize() { Some(compile_vectorized(&compiled, table)) } else { None };
+        let (rows, used, chunks) = match &vec_terms {
+            Some(terms) => (
+                filter_vectorized(table.len(), terms),
+                ScanKernel::Vectorized,
+                kernel::chunk_count(table.len(), DEFAULT_MORSEL_ROWS),
+            ),
+            None => (filter_scalar(table, &compiled), ScanKernel::Scalar, 0),
+        };
+        let metrics = tabula_obs::global();
+        metrics.counter("predicate.scan_rows").add(table.len() as u64);
+        metrics.counter("predicate.kernel_ns").add(started.elapsed().as_nanos() as u64);
+        metrics
+            .counter(match used {
+                ScanKernel::Vectorized => "predicate.kernel.vectorized",
+                ScanKernel::Scalar => "predicate.kernel.scalar",
+            })
+            .inc();
         // Bytes touched per row: one dictionary code (4 B) per compiled
         // categorical-equality term, one typed value (8 B) otherwise. An
         // estimate — short-circuiting terms touch less — but a stable,
@@ -133,6 +157,8 @@ impl Predicate {
             rows_scanned: table.len() as u64,
             rows_matched: rows.len() as u64,
             bytes_scanned: table.len() as u64 * row_bytes,
+            chunks,
+            kernel: used,
         };
         Ok((rows, stats))
     }
@@ -180,6 +206,51 @@ impl Predicate {
     }
 }
 
+/// Row-at-a-time reference scan.
+fn filter_scalar(table: &Table, compiled: &[CompiledTerm]) -> Vec<RowId> {
+    let pool = Pool::global();
+    let partials = pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
+        let mut out = Vec::new();
+        'rows: for row in range {
+            for term in compiled {
+                if !term.matches(table, row) {
+                    continue 'rows;
+                }
+            }
+            out.push(row as RowId);
+        }
+        out
+    });
+    partials.concat()
+}
+
+/// Chunked columnar scan: per chunk, fill the selection vector with the
+/// chunk's rows, then let each term kernel narrow it in place. Surviving
+/// ids append in chunk (hence row) order.
+fn filter_vectorized(len: usize, terms: &[VecTerm<'_>]) -> Vec<RowId> {
+    let chunk = kernel::chunk_rows();
+    let pool = Pool::global();
+    let partials = pool.par_chunks(len, DEFAULT_MORSEL_ROWS, |range| {
+        let mut out = Vec::new();
+        let mut sel = SelectionVector::with_capacity(chunk);
+        let mut start = range.start;
+        while start < range.end {
+            let end = range.end.min(start + chunk);
+            sel.fill_range(start..end);
+            for term in terms {
+                term.apply(&mut sel);
+                if sel.is_empty() {
+                    break;
+                }
+            }
+            out.extend_from_slice(sel.as_slice());
+            start = end;
+        }
+        out
+    });
+    partials.concat()
+}
+
 /// Work accounting for one [`Predicate::filter_with_stats`] scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanStats {
@@ -189,6 +260,31 @@ pub struct ScanStats {
     pub rows_matched: u64,
     /// Estimated bytes of column data touched.
     pub bytes_scanned: u64,
+    /// Execution chunks the scan was carved into (0 for the scalar path,
+    /// which iterates rows directly).
+    pub chunks: u64,
+    /// Which kernel implementation ran.
+    pub kernel: ScanKernel,
+}
+
+/// Which filter implementation a scan ran (reported by EXPLAIN ANALYZE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanKernel {
+    /// Row-at-a-time reference path.
+    #[default]
+    Scalar,
+    /// Chunked columnar kernels over a selection vector.
+    Vectorized,
+}
+
+impl ScanKernel {
+    /// Short lowercase name for traces and EXPLAIN output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanKernel::Scalar => "scalar",
+            ScanKernel::Vectorized => "vectorized",
+        }
+    }
 }
 
 enum CompiledTerm {
@@ -210,6 +306,115 @@ impl CompiledTerm {
                 compare(&table.value(row, *col), value).map(|ord| op.eval_ord(ord)).unwrap_or(false)
             }
         }
+    }
+}
+
+/// A term lowered onto its column's native slice. Each variant replicates
+/// the exact row-at-a-time semantics of [`CompiledTerm::matches`] /
+/// [`compare`] for its (column type, literal type) pair; combinations
+/// `compare` deems incomparable lower to `Never`.
+enum VecTerm<'t> {
+    Never,
+    CatEq { codes: &'t [u32], code: u32 },
+    I64 { data: &'t [i64], op: CmpOp, rhs: i64 },
+    I64AsF64 { data: &'t [i64], op: CmpOp, rhs: f64 },
+    F64 { data: &'t [f64], op: CmpOp, rhs: f64 },
+    // String ordering against a literal: one `&str` compare per *distinct
+    // code* at compile time, then a per-row table lookup — the scalar path
+    // allocates a `String` per row here.
+    StrLut { codes: &'t [u32], lut: Vec<bool> },
+}
+
+fn compile_vectorized<'t>(compiled: &[CompiledTerm], table: &'t Table) -> Vec<VecTerm<'t>> {
+    compiled
+        .iter()
+        .map(|term| match term {
+            CompiledTerm::Never => VecTerm::Never,
+            CompiledTerm::CatEq { col, code } => {
+                let cat = table.cat(*col).expect("compile() verified the column is categorical");
+                VecTerm::CatEq { codes: cat.codes(), code: *code }
+            }
+            CompiledTerm::General { col, op, value } => {
+                let column = table.column(*col);
+                if let Some(data) = column.as_i64_slice() {
+                    return match value {
+                        Value::Int64(rhs) => VecTerm::I64 { data, op: *op, rhs: *rhs },
+                        Value::Float64(rhs) => VecTerm::I64AsF64 { data, op: *op, rhs: *rhs },
+                        _ => VecTerm::Never,
+                    };
+                }
+                if let Some(data) = column.as_f64_slice() {
+                    // as_f64 widens Int64 literals; Str/Point have no
+                    // float form, so compare() never matches them.
+                    return match value.as_f64() {
+                        Some(rhs) => VecTerm::F64 { data, op: *op, rhs },
+                        None => VecTerm::Never,
+                    };
+                }
+                if let Some((codes, dict)) = column.as_str_codes() {
+                    return match value {
+                        Value::Str(rhs) => VecTerm::StrLut { codes, lut: str_lut(dict, *op, rhs) },
+                        _ => VecTerm::Never,
+                    };
+                }
+                // Point columns: no total order, nothing ever matches.
+                VecTerm::Never
+            }
+        })
+        .collect()
+}
+
+/// Per-code match table for a string ordering term.
+fn str_lut(dict: &Dictionary, op: CmpOp, rhs: &str) -> Vec<bool> {
+    (0..dict.len() as u32).map(|c| op.eval_ord(dict.decode(c).cmp(rhs))).collect()
+}
+
+impl VecTerm<'_> {
+    #[inline]
+    fn apply(&self, sel: &mut SelectionVector) {
+        match self {
+            VecTerm::Never => sel.clear(),
+            VecTerm::CatEq { codes, code } => sel.retain(|r| codes[r as usize] == *code),
+            VecTerm::I64 { data, op, rhs } => retain_i64(sel, data, *op, *rhs),
+            VecTerm::I64AsF64 { data, op, rhs } => {
+                retain_f64(sel, *op, *rhs, |r| data[r as usize] as f64)
+            }
+            VecTerm::F64 { data, op, rhs } => retain_f64(sel, *op, *rhs, |r| data[r as usize]),
+            VecTerm::StrLut { codes, lut } => sel.retain(|r| lut[codes[r as usize] as usize]),
+        }
+    }
+}
+
+/// Integer comparison kernels: the op is dispatched once per chunk, so
+/// each arm is a tight monomorphic loop.
+fn retain_i64(sel: &mut SelectionVector, data: &[i64], op: CmpOp, rhs: i64) {
+    match op {
+        CmpOp::Eq => sel.retain(|r| data[r as usize] == rhs),
+        CmpOp::Ne => sel.retain(|r| data[r as usize] != rhs),
+        CmpOp::Lt => sel.retain(|r| data[r as usize] < rhs),
+        CmpOp::Le => sel.retain(|r| data[r as usize] <= rhs),
+        CmpOp::Gt => sel.retain(|r| data[r as usize] > rhs),
+        CmpOp::Ge => sel.retain(|r| data[r as usize] >= rhs),
+    }
+}
+
+/// Float comparison kernels with `partial_cmp` semantics: a `NaN` on
+/// either side matches nothing — note `Ne` is `x < rhs || x > rhs`, *not*
+/// `x != rhs` (which would match `NaN`, unlike the scalar reference).
+fn retain_f64(sel: &mut SelectionVector, op: CmpOp, rhs: f64, at: impl Fn(u32) -> f64) {
+    match op {
+        CmpOp::Eq => sel.retain(|r| at(r) == rhs),
+        // Not `x != rhs`: clippy's simplification is true for NaN, this
+        // form is not — and NaN must match nothing.
+        #[allow(clippy::double_comparisons)]
+        CmpOp::Ne => sel.retain(|r| {
+            let x = at(r);
+            x < rhs || x > rhs
+        }),
+        CmpOp::Lt => sel.retain(|r| at(r) < rhs),
+        CmpOp::Le => sel.retain(|r| at(r) <= rhs),
+        CmpOp::Gt => sel.retain(|r| at(r) > rhs),
+        CmpOp::Ge => sel.retain(|r| at(r) >= rhs),
     }
 }
 
@@ -243,7 +448,7 @@ mod tests {
     use super::*;
     use crate::schema::{Field, Schema};
     use crate::table::TableBuilder;
-    use crate::types::ColumnType;
+    use crate::types::{ColumnType, Point};
 
     fn table() -> Table {
         let schema = Schema::new(vec![
@@ -339,10 +544,67 @@ mod tests {
     }
 
     #[test]
+    fn stats_report_kernel_and_chunks() {
+        use crate::kernel::{set_kernel_mode, KernelMode};
+        let t = table();
+        let p = Predicate::eq("payment", "cash");
+        let prev = crate::kernel::kernel_mode();
+        set_kernel_mode(KernelMode::ForceVectorized);
+        let (_, vstats) = p.filter_with_stats(&t).unwrap();
+        set_kernel_mode(KernelMode::ForceScalar);
+        let (_, sstats) = p.filter_with_stats(&t).unwrap();
+        set_kernel_mode(prev);
+        assert_eq!(vstats.kernel, ScanKernel::Vectorized);
+        assert_eq!(vstats.chunks, 1); // 5 rows fit one chunk
+        assert_eq!(sstats.kernel, ScanKernel::Scalar);
+        assert_eq!(sstats.chunks, 0);
+        assert_eq!(vstats.rows_matched, sstats.rows_matched);
+    }
+
+    #[test]
     fn matches_single_row() {
         let t = table();
         let p = Predicate::eq("payment", "dispute");
         assert!(p.matches(&t, 3).unwrap());
         assert!(!p.matches(&t, 0).unwrap());
+    }
+
+    /// Every (column type, literal type, op) combination must agree
+    /// between the scalar reference and the vectorized kernels — NaN,
+    /// string ordering, and incomparable pairs included.
+    #[test]
+    fn scalar_and_vectorized_filters_agree() {
+        use crate::kernel::{set_kernel_mode, KernelMode};
+        let schema = Schema::new(vec![
+            Field::new("s", ColumnType::Str),
+            Field::new("i", ColumnType::Int64),
+            Field::new("f", ColumnType::Float64),
+            Field::new("p", ColumnType::Point),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (s, i, f) in
+            [("b", 5i64, 1.5), ("a", -2, f64::NAN), ("c", 5, -0.0), ("a", 0, 2.5), ("bb", 9, 1.5)]
+        {
+            b.push_row(&[s.into(), i.into(), f.into(), Value::Point(Point::new(1.0, 2.0))])
+                .unwrap();
+        }
+        let t = b.finish();
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let lits: Vec<Value> =
+            vec!["b".into(), "aa".into(), 5i64.into(), 1.5f64.into(), f64::NAN.into(), 0i64.into()];
+        let prev = crate::kernel::kernel_mode();
+        for col in ["s", "i", "f", "p"] {
+            for &op in &ops {
+                for lit in &lits {
+                    let p = Predicate::all().and(col, op, lit.clone());
+                    set_kernel_mode(KernelMode::ForceScalar);
+                    let scalar = p.filter(&t).unwrap();
+                    set_kernel_mode(KernelMode::ForceVectorized);
+                    let vector = p.filter(&t).unwrap();
+                    assert_eq!(scalar, vector, "col={col} op={op:?} lit={lit:?}");
+                }
+            }
+        }
+        set_kernel_mode(prev);
     }
 }

@@ -231,6 +231,29 @@ impl Table {
         }
     }
 
+    /// [`take`](Self::take) into an existing table of the same schema,
+    /// reusing its column buffer capacity across calls — the materialize
+    /// path of repeated answers and incremental-refresh rounds gathers
+    /// every column each round, where fresh allocation would dominate.
+    /// Cached categorical indexes of `out` are reset (they described the
+    /// old rows). Returns `false` on a schema mismatch, leaving `out`'s
+    /// rows unspecified but its buffers intact.
+    pub fn take_into(&self, rows: &[RowId], out: &mut Table) -> bool {
+        if self.schema != out.schema || self.columns.len() != out.columns.len() {
+            return false;
+        }
+        for (src, dst) in self.columns.iter().zip(&mut out.columns) {
+            if !src.take_into(rows, dst) {
+                return false;
+            }
+        }
+        out.len = rows.len();
+        for slot in &mut out.int_cat {
+            *slot = OnceLock::new();
+        }
+        true
+    }
+
     /// Approximate bytes one row of this table occupies.
     pub fn row_bytes(&self) -> usize {
         self.schema.row_bytes()
@@ -414,6 +437,27 @@ mod tests {
         assert_eq!(sub.value(1, 0), Value::Str("cash".into()));
         // Categorical views on the projection still work.
         assert_eq!(sub.cat(0).unwrap().codes(), &[0, 0]);
+    }
+
+    #[test]
+    fn take_into_is_capacity_stable_across_rounds() {
+        let t = taxi_mini();
+        let mut out = t.take(&[0, 1, 2]);
+        let caps: Vec<usize> = out.columns.iter().map(|c| c.capacity()).collect();
+        for round in 0..8 {
+            let rows: Vec<RowId> = if round % 2 == 0 { vec![2, 0] } else { vec![1, 2, 0] };
+            assert!(t.take_into(&rows, &mut out), "schemas match");
+            assert_eq!(out.len(), rows.len());
+            assert_eq!(out.row(0), t.row(rows[0] as usize));
+            let now: Vec<usize> = out.columns.iter().map(|c| c.capacity()).collect();
+            assert_eq!(now, caps, "round {round} reallocated a column");
+            // Cached categorical indexes are rebuilt for the new rows.
+            assert_eq!(out.cat(1).unwrap().codes().len(), rows.len());
+        }
+        // Schema mismatch is rejected.
+        let other = TableBuilder::new(Schema::new(vec![Field::new("x", ColumnType::Int64)]));
+        let mut wrong = other.finish();
+        assert!(!t.take_into(&[0], &mut wrong));
     }
 
     #[test]

@@ -28,8 +28,8 @@ fn traced_session(rows: usize) -> (Session, Arc<Tracer>) {
 }
 
 /// Parse the stage table of an `EXPLAIN ANALYZE` Info result back into
-/// `(stage_name, ns_text, rows, bytes)` tuples.
-fn stage_rows(lines: &[String]) -> Vec<(String, String, u64, u64)> {
+/// `(stage_name, ns_text, rows, bytes, chunks)` tuples.
+fn stage_rows(lines: &[String]) -> Vec<(String, String, u64, u64, u64)> {
     let header = lines
         .iter()
         .position(|l| l.starts_with("stage"))
@@ -38,12 +38,13 @@ fn stage_rows(lines: &[String]) -> Vec<(String, String, u64, u64)> {
         .iter()
         .map(|l| {
             let cols: Vec<&str> = l.split_whitespace().collect();
-            assert_eq!(cols.len(), 4, "stage line {l:?}");
+            assert_eq!(cols.len(), 5, "stage line {l:?}");
             (
                 cols[0].to_string(),
                 cols[1].to_string(),
                 cols[2].parse().unwrap(),
                 cols[3].parse().unwrap(),
+                cols[4].parse().unwrap(),
             )
         })
         .collect()
@@ -100,11 +101,15 @@ fn explain_analyze_raw_select_reports_scan() {
         panic!()
     };
     assert!(lines[1].contains("trace provenance: scan"), "{lines:#?}");
+    // The answer line reports which filter kernel ran; the default (Auto)
+    // mode vectorizes a raw scan.
+    assert!(lines[1].contains("Scan[vectorized]"), "{lines:#?}");
     let stages = stage_rows(&lines);
     assert_eq!(stages.len(), 1);
     assert_eq!(stages[0].0, "scan");
     assert!(stages[0].2 > 0, "scan matched rows: {lines:#?}");
     assert!(stages[0].3 > 0, "scan bytes: {lines:#?}");
+    assert!(stages[0].4 > 0, "vectorized scan must report its chunk count: {lines:#?}");
 }
 
 #[test]
