@@ -131,7 +131,7 @@ fn main() {
         let _ = table.cat(c);
     }
     let fare = match table.column_by_name("fare_amount").expect("fare_amount") {
-        Column::Float64(v) => v.as_slice(),
+        Column::Float64(v) => &v[..],
         other => panic!("fare_amount is {other:?}, expected Float64"),
     };
     let vendor = table.value(0, table.schema().index_of("vendor_name").unwrap());

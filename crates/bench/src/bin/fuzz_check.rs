@@ -11,7 +11,10 @@
 //!
 //! Exit status is non-zero on divergence, so CI can gate on it (the
 //! `fuzz-smoke` job runs three pinned seeds at two thread counts).
-//! `BENCH_fuzz_check.json` records coverage either way.
+//! `BENCH_fuzz_check.json` records coverage either way. `--snapshot`
+//! additionally freezes every built cube into a `tabula-store` snapshot,
+//! thaws it, and requires byte-identical fingerprints, answers and
+//! re-frozen bytes (the CI `snapshot` job's sweep).
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -25,10 +28,11 @@ struct Args {
     seed: u64,
     cases: u64,
     no_shrink: bool,
+    snapshot: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 42, cases: 100, no_shrink: false };
+    let mut args = Args { seed: 42, cases: 100, no_shrink: false, snapshot: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -39,9 +43,11 @@ fn parse_args() -> Args {
                 args.cases = it.next().and_then(|v| v.parse().ok()).expect("--cases <u64>");
             }
             "--no-shrink" => args.no_shrink = true,
+            "--snapshot" => args.snapshot = true,
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: fuzz_check [--seed S] [--cases N] [--no-shrink]"
+                    "unknown flag {other}; usage: fuzz_check [--seed S] [--cases N] \
+                     [--no-shrink] [--snapshot]"
                 );
                 std::process::exit(2);
             }
@@ -59,6 +65,9 @@ fn run_one(case: &CaseSpec, sql_seed: u64) -> Result<(usize, usize, usize), Dive
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // The snapshot lane (freeze → thaw → replay, byte-identical) roughly
+    // doubles per-case cost, so it is opt-in.
+    tabula_check::set_snapshot_lane(args.snapshot);
     let registry = obs::Registry::new();
     let start = Instant::now();
 
@@ -131,6 +140,7 @@ fn main() -> ExitCode {
         ("queries_checked", Value::Int(queries as i128)),
         ("sql_statements_checked", Value::Int(statements as i128)),
         ("diverged", Value::Str(diverged.to_string())),
+        ("snapshot_lane", Value::Str(args.snapshot.to_string())),
         (
             "by_loss",
             Value::Obj(

@@ -1,0 +1,138 @@
+//! **Restart** — the cost of coming back up. The sampling cube's build
+//! is the most expensive operation in the system (`fig08_init_time`); a
+//! `tabula-store` snapshot is supposed to make a process restart pay the
+//! *load* cost instead. This benchmark measures both sides of that trade
+//! on the Figure-8 mean-loss configuration:
+//!
+//! 1. build the cube from raw rows (wall-clocked),
+//! 2. freeze it into a snapshot file (`SamplingCube::write_snapshot`),
+//! 3. thaw it back (`SamplingCube::from_snapshot`, full checksum
+//!    verification included),
+//! 4. replay a query workload through both cubes and require every
+//!    answer to match byte for byte (rows AND provenance) — a fast
+//!    restart that changes answers is a bug, not a feature.
+//!
+//! `BENCH_restart.json` records `build_ns`, `snapshot_write_ns`,
+//! `load_ns`, the file size, and `speedup` (= build / load). The exit
+//! status is non-zero if any answer diverges or the load is not actually
+//! faster than the build, so CI can gate on it.
+//!
+//! ```bash
+//! cargo run --release -p tabula-bench --bin restart_bench            # 1 M rows
+//! cargo run --release -p tabula-bench --bin restart_bench -- --quick # 20 k rows
+//! TABULA_BENCH_ROWS=200000 cargo run --release -p tabula-bench --bin restart_bench
+//! ```
+
+use serde::Value;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use tabula_bench::{fmt_bytes, fmt_duration, write_run_summary, SEED};
+use tabula_core::loss::MeanLoss;
+use tabula_core::{SamplingCube, SamplingCubeBuilder};
+use tabula_data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula_obs as obs;
+
+/// Default scale: the Figure-8 headline configuration at 1 M rows.
+const DEFAULT_ROWS: usize = 1_000_000;
+/// `--quick` scale for CI smoke runs.
+const QUICK_ROWS: usize = 20_000;
+/// Queries replayed through both cubes.
+const QUERIES: usize = 100;
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = std::env::var("TABULA_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { QUICK_ROWS } else { DEFAULT_ROWS });
+    let theta = 0.05;
+    let attrs: Vec<&str> = CUBED_ATTRIBUTES[..5].to_vec();
+
+    println!("# restart_bench | rows = {rows} | attrs = 5 | θ = {theta} | queries = {QUERIES}");
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows, seed: SEED }).generate());
+    let fare = table.schema().index_of("fare_amount").unwrap();
+
+    // 1. The cold path: build from raw rows.
+    let build_start = Instant::now();
+    let cube = SamplingCubeBuilder::new(Arc::clone(&table), &attrs, MeanLoss::new(fare), theta)
+        .seed(SEED)
+        .build()
+        .expect("cube build succeeds");
+    let build = build_start.elapsed();
+
+    // 2. Freeze.
+    let path = std::env::temp_dir().join(format!("tabula-restart-{}.tabsnap", std::process::id()));
+    let write_start = Instant::now();
+    let bytes = cube.write_snapshot(&path, 1).expect("snapshot write succeeds");
+    let write = write_start.elapsed();
+
+    // 3. Thaw (checksums verified, indexes rebuilt — the restart path).
+    let load_start = Instant::now();
+    let (thawed, info) = SamplingCube::from_snapshot(&path).expect("snapshot load succeeds");
+    let load = load_start.elapsed();
+    std::fs::remove_file(&path).ok();
+
+    // 4. Same answers, byte for byte.
+    let workload = Workload::new(&attrs)
+        .generate(&table, QUERIES, SEED ^ 0xBEEF)
+        .expect("workload generation succeeds");
+    let mut divergences = 0usize;
+    for q in &workload {
+        let a = cube.query_cell(&q.cell);
+        let b = thawed.query_cell(&q.cell);
+        if a.rows != b.rows || a.provenance != b.provenance {
+            eprintln!("DIVERGENCE [{}]: thawed answer differs from built answer", q.description);
+            divergences += 1;
+        }
+    }
+
+    let speedup = build.as_nanos() as f64 / load.as_nanos().max(1) as f64;
+    println!("build             {:>12}", fmt_duration(build));
+    println!(
+        "snapshot write    {:>12}   ({} on disk)",
+        fmt_duration(write),
+        fmt_bytes(bytes as usize)
+    );
+    println!("snapshot load     {:>12}   ({} cells)", fmt_duration(load), info.cells);
+    println!("restart speedup   {speedup:>11.1}x   (build / load)");
+    println!(
+        "answers           {:>12}   ({} queries replayed, {divergences} divergences)",
+        if divergences == 0 { "identical" } else { "DIVERGED" },
+        workload.len()
+    );
+
+    let extra = [
+        ("rows", Value::Int(rows as i128)),
+        ("quick", Value::Str(quick.to_string())),
+        ("theta", Value::Float(theta)),
+        ("cells", Value::Int(info.cells as i128)),
+        ("snapshot_bytes", Value::Int(bytes as i128)),
+        ("build_ns", Value::Int(build.as_nanos() as i128)),
+        ("snapshot_write_ns", Value::Int(write.as_nanos() as i128)),
+        ("load_ns", Value::Int(load.as_nanos() as i128)),
+        ("speedup", Value::Float(speedup)),
+        ("queries_replayed", Value::Int(workload.len() as i128)),
+        ("divergences", Value::Int(divergences as i128)),
+    ];
+    // The store layer records its own write/load histograms and byte
+    // counters against the global registry; fold them into the summary.
+    match write_run_summary("restart", &obs::global().snapshot(), &extra) {
+        Ok(p) => println!("run summary written to {}", p.display()),
+        Err(e) => eprintln!("could not write run summary: {e}"),
+    }
+
+    if divergences > 0 {
+        eprintln!("restart_bench: FAILED — {divergences} diverging answers");
+        return ExitCode::FAILURE;
+    }
+    if load >= build {
+        eprintln!(
+            "restart_bench: FAILED — loading ({}) is not faster than building ({})",
+            fmt_duration(load),
+            fmt_duration(build)
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -41,6 +41,25 @@ pub const THREAD_COUNTS: [usize; 2] = [1, 4];
 /// under concurrent clients.
 pub const SERVE_CLIENTS: [usize; 2] = [1, 8];
 
+/// Opt-in switch for the snapshot lane ([`set_snapshot_lane`]): when on,
+/// every case additionally freezes the built cube into an in-memory
+/// `tabula-store` snapshot, thaws it back, and requires byte-identical
+/// fingerprints, answers, and re-frozen bytes. Off by default because it
+/// roughly doubles per-case cost; `fuzz_check --snapshot` turns it on.
+static SNAPSHOT_LANE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable or disable the snapshot round-trip lane for subsequent
+/// [`diff_case`] / [`diff_with_loss`] calls (process-global, like the
+/// kernel-mode override).
+pub fn set_snapshot_lane(on: bool) {
+    SNAPSHOT_LANE.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the snapshot lane is currently enabled.
+pub fn snapshot_lane() -> bool {
+    SNAPSHOT_LANE.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 /// Cells whose naive loss sits within this band of θ are excluded from
 /// the iceberg-*set* comparison: the production classifier evaluates the
 /// loss along a different float path (merged algebraic states), so right
@@ -153,6 +172,12 @@ pub fn diff_with_loss<L: AccuracyLoss + Clone>(
                 if let Err(e) = check_serve(case, &cube, mode) {
                     tabula_par::set_threads(0);
                     return Err(e);
+                }
+                if snapshot_lane() {
+                    if let Err(e) = check_snapshot(case, &cube, mode) {
+                        tabula_par::set_threads(0);
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -560,6 +585,79 @@ fn check_serve_traces(
     Ok(())
 }
 
+/// The snapshot lane: freeze the built cube into an in-memory
+/// `tabula-store` snapshot, thaw it back, and require the thawed cube to
+/// be indistinguishable from the original — byte-identical fingerprint
+/// (every cell key, every sample, the global sample), byte-identical
+/// answers (rows AND provenance) over the case's query workload, and a
+/// re-frozen snapshot identical to the first one byte for byte (the
+/// format is a pure function of cube content). Any store-layer failure is
+/// its own divergence kind (`snapshot_io`) so fuzzing separates "the
+/// format broke" from "the format changed the answers".
+fn check_snapshot(
+    case: &CaseSpec,
+    cube: &SamplingCube,
+    mode: MaterializationMode,
+) -> Result<(), Divergence> {
+    let io = |stage: &str, e: &dyn fmt::Debug| Divergence {
+        check: "snapshot_io",
+        detail: format!("{mode:?} {stage}: {e:?}"),
+    };
+    let bytes = cube.snapshot_bytes(0).map_err(|e| io("freeze", &e))?;
+    let (thawed, info) =
+        SamplingCube::from_snapshot_bytes(bytes.clone()).map_err(|e| io("thaw", &e))?;
+    if info.cells != cube.materialized_cells() {
+        return Err(Divergence {
+            check: "snapshot_roundtrip",
+            detail: format!(
+                "{mode:?}: snapshot reports {} cells, cube has {}",
+                info.cells,
+                cube.materialized_cells()
+            ),
+        });
+    }
+    if Fingerprint::of(&thawed) != Fingerprint::of(cube) {
+        return Err(Divergence {
+            check: "snapshot_roundtrip",
+            detail: format!("{mode:?}: thawed cube fingerprint differs from the original"),
+        });
+    }
+    for q in &case.queries {
+        let mut pred = Predicate::all();
+        for (column, value) in q {
+            pred = pred.and(column.clone(), CmpOp::Eq, value.clone());
+        }
+        let a = cube.query(&pred).map_err(|e| io("query original", &e))?;
+        let b = thawed.query(&pred).map_err(|e| io("query thawed", &e))?;
+        if a.rows != b.rows || a.provenance != b.provenance {
+            return Err(Divergence {
+                check: "snapshot_roundtrip",
+                detail: format!(
+                    "{mode:?} query {q:?}: thawed cube answered ({} rows, {:?}), \
+                     original ({} rows, {:?})",
+                    b.rows.len(),
+                    b.provenance,
+                    a.rows.len(),
+                    a.provenance
+                ),
+            });
+        }
+    }
+    let refrozen = thawed.snapshot_bytes(0).map_err(|e| io("re-freeze", &e))?;
+    if refrozen != bytes {
+        return Err(Divergence {
+            check: "snapshot_roundtrip",
+            detail: format!(
+                "{mode:?}: re-frozen snapshot differs byte-for-byte \
+                 ({} vs {} bytes)",
+                refrozen.len(),
+                bytes.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Differential check of the SQL front-end over one case's table: for
 /// each of `n` generated `WHERE` clauses, run `SELECT * FROM t WHERE ...`
 /// end to end — AST → pretty-printer → lexer → parser → executor — and
@@ -874,6 +972,24 @@ mod tests {
         // The clean kernel must pass the shrunk case: the bug is in the
         // sabotage, not the pipeline.
         assert!(diff_case(&shrunk.case).is_ok(), "clean kernel fails the shrunk case");
+    }
+
+    /// The snapshot lane must pass on clean pinned seeds: freeze → thaw →
+    /// replay is byte-identical for every materialization mode. (The wide
+    /// sweep runs in `fuzz_check --snapshot`.)
+    #[test]
+    fn snapshot_lane_round_trips_pinned_seeds() {
+        let _guard = DIFF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_snapshot_lane(true);
+        let result: Result<(), String> = (|| {
+            for seed in [1, 6, 9] {
+                let case = gen_case(seed);
+                diff_case(&case).map_err(|d| format!("seed {seed} ({}): {d}", case.loss.name()))?;
+            }
+            Ok(())
+        })();
+        set_snapshot_lane(false);
+        result.unwrap();
     }
 
     /// The kernel-differential lane must leave the process-global kernel

@@ -42,15 +42,18 @@
 //!   `TabulaStar` materializing different cell sets;
 //! * any byte-level difference between cubes built at different thread
 //!   counts;
-//! * an `EmptyDomain` answer for a query that matches raw rows.
+//! * an `EmptyDomain` answer for a query that matches raw rows;
+//! * with the snapshot lane on ([`set_snapshot_lane`], `fuzz_check
+//!   --snapshot`): a thawed `tabula-store` snapshot whose fingerprint,
+//!   workload answers, or re-frozen bytes differ from the original cube.
 
 pub mod diff;
 pub mod generate;
 pub mod oracle;
 
 pub use diff::{
-    diff_case, diff_sql_case, diff_with_loss, shrink, CaseReport, Divergence, NaiveEval, Shrunk,
-    MODES, THREAD_COUNTS,
+    diff_case, diff_sql_case, diff_with_loss, set_snapshot_lane, shrink, snapshot_lane, CaseReport,
+    Divergence, NaiveEval, Shrunk, MODES, THREAD_COUNTS,
 };
 pub use generate::{gen_case, gen_statement, gen_statements, gen_where_terms, CaseSpec};
 pub use oracle::{naive_cube, naive_filter, naive_term_matches, LossSpec, NaiveCube};

@@ -63,6 +63,7 @@ pub mod samgraph;
 pub mod sampling;
 pub mod selection;
 pub mod serfling;
+pub mod store;
 
 pub use builder::{MaterializationMode, SamplingCubeBuilder};
 pub use cube::{MemoryBreakdown, QueryAnswer, SampleProvenance, SamplingCube};
@@ -70,9 +71,10 @@ pub use incremental::{refresh, RefreshConfig, RefreshStats};
 pub use loss::{AccuracyLoss, HeatmapLoss, HistogramLoss, MeanLoss, RegressionLoss};
 pub use sampling::greedy_sample;
 pub use serfling::{global_sample_size, SerflingConfig};
+pub use store::SnapshotInfo;
 
 /// Errors produced by the middleware.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum CoreError {
     /// Underlying storage error.
     Storage(tabula_storage::StorageError),
@@ -80,11 +82,34 @@ pub enum CoreError {
     Config(String),
     /// A query referenced columns outside the cubed attributes.
     NotCubedAttribute(String),
+    /// Snapshot store error (behind `Arc` because `std::io::Error` is not
+    /// `Clone`; the typed [`tabula_store::StoreError`] is preserved).
+    Store(std::sync::Arc<tabula_store::StoreError>),
 }
 
 impl From<tabula_storage::StorageError> for CoreError {
     fn from(e: tabula_storage::StorageError) -> Self {
         CoreError::Storage(e)
+    }
+}
+
+impl From<tabula_store::StoreError> for CoreError {
+    fn from(e: tabula_store::StoreError) -> Self {
+        CoreError::Store(std::sync::Arc::new(e))
+    }
+}
+
+// `StoreError` carries `std::io::Error`, which has no structural equality;
+// snapshot errors compare by their rendered message instead.
+impl PartialEq for CoreError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CoreError::Storage(a), CoreError::Storage(b)) => a == b,
+            (CoreError::Config(a), CoreError::Config(b)) => a == b,
+            (CoreError::NotCubedAttribute(a), CoreError::NotCubedAttribute(b)) => a == b,
+            (CoreError::Store(a), CoreError::Store(b)) => a.to_string() == b.to_string(),
+            _ => false,
+        }
     }
 }
 
@@ -96,6 +121,7 @@ impl std::fmt::Display for CoreError {
             CoreError::NotCubedAttribute(name) => {
                 write!(f, "column {name} is not one of the cubed attributes")
             }
+            CoreError::Store(e) => write!(f, "snapshot store error: {e}"),
         }
     }
 }

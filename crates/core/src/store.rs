@@ -1,0 +1,554 @@
+//! Snapshot materialization: freeze a built [`SamplingCube`] into a
+//! `tabula-store` file and thaw it back without repaying the build.
+//!
+//! This is the production persistence route (the JSON
+//! [`crate::cube::CubePersist`] path remains for debugging/interchange).
+//! Unlike `CubePersist`, a snapshot is **self-contained**: it carries the
+//! raw table's columns alongside the cube table, sample lists and global
+//! sample, so a fresh process restores a serving-ready cube from one file.
+//!
+//! ## Block inventory
+//!
+//! | block              | payload                                        |
+//! |--------------------|------------------------------------------------|
+//! | `schema`           | table schema (JSON)                            |
+//! | `col:<i>:data`     | Int64 / Float64 / Point column words           |
+//! | `col:<i>:codes`    | Str column dictionary codes (u32)              |
+//! | `col:<i>:dict`     | Str column dictionary (offsets + UTF-8 heap)   |
+//! | `cube:keys`        | packed cell keys (u64, ascending) *or*         |
+//! | `cube:flat`        | flat u32 keys when Σ bits > 64 (`u32::MAX`=\*) |
+//! | `cube:sample_ids`  | sample id per cell, aligned with keys (u32)    |
+//! | `samples:offsets`  | prefix offsets into `samples:rows` (u64)       |
+//! | `samples:rows`     | concatenated local-sample row ids (u32)        |
+//! | `global:rows`      | global-sample row ids (u32)                    |
+//! | `stats`            | [`BuildStats`] (JSON)                          |
+//!
+//! Cell keys are encoded over per-attribute domains of `cardinality + 1`
+//! (slot 0 is `*`/`None`, code `c` maps to `c + 1`) and written in
+//! ascending key order, so snapshot bytes are a pure function of cube
+//! content — two processes that built the same cube write identical files.
+//!
+//! ## What is verified on load
+//!
+//! Beyond the store layer's checksums, the loader re-derives every
+//! invariant it relies on: dictionary codes < dictionary length, the
+//! recomputed key layout's bit widths against the manifest's, cell codes <
+//! attribute cardinality, sample ids < sample count, row ids < table
+//! length, sample offsets monotonic and exhaustive. A snapshot that loads
+//! is a cube that cannot index out of bounds.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use tabula_storage::{CellKey, Column, ColumnType, FxHashMap, KeyLayout, RowId, Schema, Table};
+use tabula_store::{Snapshot, SnapshotWriter, StoreError};
+
+use crate::cube::{BuildStats, SamplingCube};
+use crate::Result;
+
+/// Writer-defined manifest payload for cube snapshots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CubeMeta {
+    /// Snapshot kind tag; loaders reject anything but `"sampling-cube"`.
+    kind: String,
+    /// Cubed attribute names, in cube order.
+    attrs: Vec<String>,
+    /// Accuracy-loss threshold θ.
+    theta: f64,
+    /// `"packed64"` or `"flat32"`.
+    key_encoding: String,
+    /// Per-attribute bit widths of the packed key layout (empty for
+    /// `flat32`); verified against recomputed cardinalities on load.
+    key_bits: Vec<u32>,
+    /// Materialized cell count.
+    cells: u64,
+    /// Raw table row count.
+    table_rows: u64,
+    /// Persisted local-sample count.
+    samples: u64,
+}
+
+/// Summary of a loaded snapshot, surfaced to serve/REPL layers.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotInfo {
+    /// Serving-generation epoch stamped at write time.
+    pub epoch: u64,
+    /// Total snapshot size in bytes.
+    pub file_bytes: u64,
+    /// Materialized cells restored.
+    pub cells: usize,
+}
+
+const KIND: &str = "sampling-cube";
+const ENC_PACKED: &str = "packed64";
+const ENC_FLAT: &str = "flat32";
+/// Flat-encoding sentinel for `*`/`None`.
+const FLAT_STAR: u32 = u32::MAX;
+
+fn corrupt(msg: impl Into<String>) -> crate::CoreError {
+    StoreError::CorruptManifest(msg.into()).into()
+}
+
+fn bad_block(region: &str, reason: impl Into<String>) -> crate::CoreError {
+    StoreError::BadBlock { region: format!("block:{region}"), reason: reason.into() }.into()
+}
+
+/// Per-attribute cardinalities of the cubed columns (the `+1`-shifted
+/// domains the key encoders run over).
+fn cardinalities(table: &Table, cols: &[usize]) -> Result<Vec<usize>> {
+    cols.iter().map(|&c| Ok(table.cat(c)?.cardinality())).collect()
+}
+
+fn build_writer(cube: &SamplingCube, epoch: u64) -> Result<SnapshotWriter> {
+    let table = cube.table();
+    let schema_json = serde_json::to_string(table.schema())
+        .map_err(|e| corrupt(format!("schema serialize failed: {e}")))?;
+
+    let mut w = SnapshotWriter::new();
+    w.set_epoch(epoch);
+    w.add_block("schema", table.schema().fields().len() as u64, schema_json.as_bytes())?;
+
+    for i in 0..table.schema().fields().len() {
+        let col = table.column(i);
+        let rows = col.len() as u64;
+        match tabula_store::encode_column(col) {
+            tabula_store::ColumnBlocks::Int64(data)
+            | tabula_store::ColumnBlocks::Float64(data)
+            | tabula_store::ColumnBlocks::Point(data) => {
+                w.add_block(&format!("col:{i}:data"), rows, &data)?;
+            }
+            tabula_store::ColumnBlocks::Str { codes, dict } => {
+                w.add_block(&format!("col:{i}:codes"), rows, &codes)?;
+                let dict_entries = match col {
+                    Column::Str { dict, .. } => dict.len() as u64,
+                    _ => unreachable!("Str blocks from non-Str column"),
+                };
+                w.add_block(&format!("col:{i}:dict"), dict_entries, &dict)?;
+            }
+        }
+    }
+
+    let cols = cube.cubed_cols();
+    let cards = cardinalities(table, cols)?;
+    let shifted: Vec<usize> = cards.iter().map(|&c| c + 1).collect();
+    let layout = KeyLayout::from_cardinalities(&shifted);
+    let cells = cube.materialized_cells() as u64;
+
+    let (key_encoding, key_bits) = match &layout {
+        Some(layout) => {
+            // Packed route: one u64 per cell, ascending order.
+            let mut entries: Vec<(u64, u32)> = cube
+                .cube_table()
+                .map(|(key, sid)| {
+                    let codes: Vec<u32> =
+                        key.codes.iter().map(|c| c.map_or(0, |v| v + 1)).collect();
+                    (layout.encode(&codes), sid)
+                })
+                .collect();
+            entries.sort_unstable();
+            let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+            let sids: Vec<u32> = entries.iter().map(|&(_, s)| s).collect();
+            w.add_block("cube:keys", cells, &tabula_store::encode_u64s(&keys))?;
+            w.add_block("cube:sample_ids", cells, &tabula_store::encode_u32s(&sids))?;
+            let bits: Vec<u32> = (0..cols.len()).map(|i| layout.attr_bits(i)).collect();
+            (ENC_PACKED, bits)
+        }
+        None => {
+            // Flat route for >64-bit keys: n u32 slots per cell.
+            let mut entries: Vec<(Vec<u32>, u32)> = cube
+                .cube_table()
+                .map(|(key, sid)| {
+                    let codes: Vec<u32> =
+                        key.codes.iter().map(|c| c.unwrap_or(FLAT_STAR)).collect();
+                    (codes, sid)
+                })
+                .collect();
+            entries.sort_unstable();
+            let mut flat = Vec::with_capacity(entries.len() * cols.len());
+            for (codes, _) in &entries {
+                flat.extend_from_slice(codes);
+            }
+            let sids: Vec<u32> = entries.iter().map(|(_, s)| *s).collect();
+            w.add_block("cube:flat", cells, &tabula_store::encode_u32s(&flat))?;
+            w.add_block("cube:sample_ids", cells, &tabula_store::encode_u32s(&sids))?;
+            (ENC_FLAT, Vec::new())
+        }
+    };
+
+    let mut offsets: Vec<u64> = Vec::with_capacity(cube.persisted_samples() + 1);
+    let mut sample_rows: Vec<u32> = Vec::new();
+    offsets.push(0);
+    for sid in 0..cube.persisted_samples() as u32 {
+        sample_rows.extend_from_slice(cube.sample(sid));
+        offsets.push(sample_rows.len() as u64);
+    }
+    w.add_block(
+        "samples:offsets",
+        cube.persisted_samples() as u64,
+        &tabula_store::encode_u64s(&offsets),
+    )?;
+    w.add_block(
+        "samples:rows",
+        sample_rows.len() as u64,
+        &tabula_store::encode_u32s(&sample_rows),
+    )?;
+    w.add_block(
+        "global:rows",
+        cube.global_sample().len() as u64,
+        &tabula_store::encode_u32s(cube.global_sample()),
+    )?;
+    let stats_json = serde_json::to_string(cube.stats())
+        .map_err(|e| corrupt(format!("stats serialize failed: {e}")))?;
+    w.add_block("stats", 1, stats_json.as_bytes())?;
+
+    let meta = CubeMeta {
+        kind: KIND.to_string(),
+        attrs: cube.attrs().to_vec(),
+        theta: cube.theta(),
+        key_encoding: key_encoding.to_string(),
+        key_bits,
+        cells,
+        table_rows: table.len() as u64,
+        samples: cube.persisted_samples() as u64,
+    };
+    w.set_meta(serde_json::to_string(&meta).map_err(|e| corrupt(format!("meta: {e}")))?);
+    Ok(w)
+}
+
+fn restore(snap: &Snapshot) -> Result<(SamplingCube, SnapshotInfo)> {
+    let meta: CubeMeta = serde_json::from_str(snap.meta())
+        .map_err(|e| corrupt(format!("cube meta parse failed: {}", e.0)))?;
+    if meta.kind != KIND {
+        return Err(StoreError::Unsupported(format!(
+            "snapshot kind {:?} is not a sampling cube",
+            meta.kind
+        ))
+        .into());
+    }
+
+    // Table: schema + columns. Column payloads are *viewed* in place —
+    // each column holds a refcounted slice into the snapshot buffer, so
+    // restoring a multi-hundred-MB table copies no row data at all (the
+    // buffer stays alive as long as any column references it).
+    let schema: Schema = serde_json::from_str(snap.block("schema")?.utf8()?)
+        .map_err(|e| corrupt(format!("schema parse failed: {}", e.0)))?;
+    let mut columns = Vec::with_capacity(schema.fields().len());
+    for (i, field) in schema.fields().iter().enumerate() {
+        let col = match field.ty {
+            ColumnType::Int64 => {
+                Column::Int64(snap.block(&format!("col:{i}:data"))?.shared_i64s()?.into())
+            }
+            ColumnType::Float64 => {
+                Column::Float64(snap.block(&format!("col:{i}:data"))?.shared_f64s()?.into())
+            }
+            ColumnType::Point => {
+                Column::Point(snap.block(&format!("col:{i}:data"))?.shared_points()?.into())
+            }
+            ColumnType::Str => {
+                let codes = snap.block(&format!("col:{i}:codes"))?.shared_u32s()?;
+                let dict = snap.block(&format!("col:{i}:dict"))?.dict()?;
+                let n = dict.len() as u32;
+                if let Some(&bad) = codes.iter().find(|&&c| c >= n) {
+                    return Err(bad_block(
+                        &format!("col:{i}:codes"),
+                        format!("code {bad} out of range for dictionary of {n} entries"),
+                    ));
+                }
+                Column::Str { codes: codes.into(), dict }
+            }
+        };
+        columns.push(col);
+    }
+    let table = Arc::new(Table::from_columns(schema, columns)?);
+    if table.len() as u64 != meta.table_rows {
+        return Err(corrupt(format!(
+            "meta claims {} table rows, columns hold {}",
+            meta.table_rows,
+            table.len()
+        )));
+    }
+
+    // Cubed attribute resolution + key layout verification.
+    let cols: Vec<usize> = meta
+        .attrs
+        .iter()
+        .map(|a| table.schema().index_of(a).map_err(crate::CoreError::from))
+        .collect::<Result<_>>()?;
+    let cards = cardinalities(&table, &cols)?;
+    let n_attrs = cols.len();
+    let sample_count = meta.samples;
+
+    let sample_ids_view = snap.block("cube:sample_ids")?;
+    let sids = sample_ids_view.u32s()?;
+    let mut cube_table: FxHashMap<CellKey, u32> = FxHashMap::default();
+    cube_table.reserve(sids.len());
+
+    let mut insert = |key: CellKey, sid: u32| -> Result<()> {
+        if u64::from(sid) >= sample_count {
+            return Err(bad_block(
+                "cube:sample_ids",
+                format!("sample id {sid} out of range for {sample_count} samples"),
+            ));
+        }
+        if cube_table.insert(key, sid).is_some() {
+            return Err(bad_block("cube:keys", "duplicate cell key"));
+        }
+        Ok(())
+    };
+
+    match meta.key_encoding.as_str() {
+        ENC_PACKED => {
+            let shifted: Vec<usize> = cards.iter().map(|&c| c + 1).collect();
+            let layout = KeyLayout::from_cardinalities(&shifted).ok_or_else(|| {
+                bad_block("cube:keys", "packed64 encoding but recomputed key exceeds 64 bits")
+            })?;
+            let bits: Vec<u32> = (0..n_attrs).map(|i| layout.attr_bits(i)).collect();
+            if bits != meta.key_bits {
+                return Err(bad_block(
+                    "cube:keys",
+                    format!(
+                        "key bit widths {:?} in manifest do not match widths {bits:?} \
+                         recomputed from dictionary cardinalities",
+                        meta.key_bits
+                    ),
+                ));
+            }
+            let keys = snap.block("cube:keys")?.u64s()?;
+            if keys.len() != sids.len() {
+                return Err(bad_block(
+                    "cube:keys",
+                    format!("{} keys vs {} sample ids", keys.len(), sids.len()),
+                ));
+            }
+            let mut decoded = Vec::with_capacity(n_attrs);
+            for (&k, &sid) in keys.iter().zip(sids) {
+                layout.decode_into(k, &mut decoded);
+                let mut codes = Vec::with_capacity(n_attrs);
+                for (i, &v) in decoded.iter().enumerate() {
+                    if v == 0 {
+                        codes.push(None);
+                    } else if ((v - 1) as usize) < cards[i] {
+                        codes.push(Some(v - 1));
+                    } else {
+                        return Err(bad_block(
+                            "cube:keys",
+                            format!(
+                                "code {} out of range for attribute {:?} of cardinality {}",
+                                v - 1,
+                                meta.attrs[i],
+                                cards[i]
+                            ),
+                        ));
+                    }
+                }
+                insert(CellKey { codes }, sid)?;
+            }
+        }
+        ENC_FLAT => {
+            let flat = snap.block("cube:flat")?.u32s()?;
+            if n_attrs == 0 || flat.len() != sids.len() * n_attrs {
+                return Err(bad_block(
+                    "cube:flat",
+                    format!(
+                        "{} flat words do not tile {} cells × {n_attrs} attributes",
+                        flat.len(),
+                        sids.len()
+                    ),
+                ));
+            }
+            for (cell, &sid) in flat.chunks_exact(n_attrs).zip(sids) {
+                let mut codes = Vec::with_capacity(n_attrs);
+                for (i, &v) in cell.iter().enumerate() {
+                    if v == FLAT_STAR {
+                        codes.push(None);
+                    } else if (v as usize) < cards[i] {
+                        codes.push(Some(v));
+                    } else {
+                        return Err(bad_block(
+                            "cube:flat",
+                            format!(
+                                "code {v} out of range for attribute {:?} of cardinality {}",
+                                meta.attrs[i], cards[i]
+                            ),
+                        ));
+                    }
+                }
+                insert(CellKey { codes }, sid)?;
+            }
+        }
+        other => {
+            return Err(StoreError::Unsupported(format!("unknown key encoding {other:?}")).into())
+        }
+    }
+    if cube_table.len() as u64 != meta.cells {
+        return Err(corrupt(format!(
+            "meta claims {} cells, cube table holds {}",
+            meta.cells,
+            cube_table.len()
+        )));
+    }
+
+    // Sample tables.
+    let offsets = snap.block("samples:offsets")?.u64s()?;
+    let rows_view = snap.block("samples:rows")?;
+    let all_rows = rows_view.u32s()?;
+    if offsets.len() as u64 != sample_count + 1 || offsets.first() != Some(&0) {
+        return Err(bad_block(
+            "samples:offsets",
+            format!(
+                "{} offsets for {sample_count} samples (want count + 1, first 0)",
+                offsets.len()
+            ),
+        ));
+    }
+    if offsets.last() != Some(&(all_rows.len() as u64)) {
+        return Err(bad_block(
+            "samples:offsets",
+            format!(
+                "last offset {:?} does not cover {} sample rows",
+                offsets.last(),
+                all_rows.len()
+            ),
+        ));
+    }
+    let table_len = table.len() as u32;
+    let check_rows = |region: &str, rows: &[u32]| -> Result<()> {
+        if let Some(&bad) = rows.iter().find(|&&r| r >= table_len) {
+            return Err(bad_block(
+                region,
+                format!("row id {bad} out of range for table of {table_len} rows"),
+            ));
+        }
+        Ok(())
+    };
+    check_rows("samples:rows", all_rows)?;
+    let mut samples: Vec<Arc<Vec<RowId>>> = Vec::with_capacity(sample_count as usize);
+    for w in offsets.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi < lo {
+            return Err(bad_block(
+                "samples:offsets",
+                format!("offsets not monotonic: {lo} then {hi}"),
+            ));
+        }
+        samples.push(Arc::new(all_rows[lo as usize..hi as usize].to_vec()));
+    }
+    let global_view = snap.block("global:rows")?;
+    let global = global_view.u32s()?;
+    check_rows("global:rows", global)?;
+    let global_sample = Arc::new(global.to_vec());
+
+    let stats: BuildStats = serde_json::from_str(snap.block("stats")?.utf8()?)
+        .map_err(|e| corrupt(format!("stats parse failed: {}", e.0)))?;
+
+    let info =
+        SnapshotInfo { epoch: snap.epoch(), file_bytes: snap.file_len(), cells: cube_table.len() };
+    let cube = SamplingCube::new(
+        table,
+        meta.attrs,
+        cols,
+        meta.theta,
+        cube_table,
+        samples,
+        global_sample,
+        stats,
+    );
+    Ok((cube, info))
+}
+
+impl SamplingCube {
+    /// Freeze this cube into a snapshot file at `path`, stamping `epoch`
+    /// into the manifest. Returns the byte count written.
+    pub fn write_snapshot(&self, path: &Path, epoch: u64) -> Result<u64> {
+        Ok(build_writer(self, epoch)?.write_to(path)?)
+    }
+
+    /// Freeze this cube into an in-memory snapshot image (the file bytes,
+    /// verbatim). Used by the differential-test snapshot lane.
+    pub fn snapshot_bytes(&self, epoch: u64) -> Result<Vec<u8>> {
+        Ok(build_writer(self, epoch)?.finish()?)
+    }
+
+    /// Thaw a cube from a snapshot file. All store-level checksums and
+    /// every cube-level invariant are verified before this returns.
+    pub fn from_snapshot(path: &Path) -> Result<(SamplingCube, SnapshotInfo)> {
+        let snap = Snapshot::open(path)?;
+        restore(&snap)
+    }
+
+    /// Thaw a cube from an in-memory snapshot image.
+    pub fn from_snapshot_bytes(bytes: Vec<u8>) -> Result<(SamplingCube, SnapshotInfo)> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        restore(&snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MaterializationMode, SamplingCubeBuilder};
+    use crate::loss::MeanLoss;
+    use tabula_data::example_dcm_table;
+    use tabula_storage::Predicate;
+
+    fn cube() -> SamplingCube {
+        let t = Arc::new(example_dcm_table());
+        let fare = t.schema().index_of("fare").unwrap();
+        SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], MeanLoss::new(fare), 0.10)
+            .seed(1)
+            .mode(MaterializationMode::Tabula)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_cube_and_answers() {
+        let c = cube();
+        let bytes = c.snapshot_bytes(7).unwrap();
+        let (back, info) = SamplingCube::from_snapshot_bytes(bytes).unwrap();
+        assert_eq!(info.epoch, 7);
+        assert_eq!(info.cells, c.materialized_cells());
+        assert_eq!(back.materialized_cells(), c.materialized_cells());
+        assert_eq!(back.persisted_samples(), c.persisted_samples());
+        assert_eq!(back.global_sample(), c.global_sample());
+        assert_eq!(back.table().len(), c.table().len());
+        // Every cell answers identically, sample ids included.
+        for (key, sid) in c.cube_table() {
+            assert_eq!(back.query_cell(key).rows, c.query_cell(key).rows);
+            assert_eq!(back.cube_table().find(|(k, _)| *k == key).unwrap().1, sid);
+        }
+        // Predicate path agrees too.
+        for pred in [Predicate::eq("M", "cash"), Predicate::eq("M", "dispute"), Predicate::all()] {
+            let a = c.query(&pred).unwrap();
+            let b = back.query(&pred).unwrap();
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.provenance, b.provenance);
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let c = cube();
+        assert_eq!(c.snapshot_bytes(3).unwrap(), c.snapshot_bytes(3).unwrap());
+        // A cube rebuilt from the snapshot re-freezes to identical bytes:
+        // snapshot content is a pure function of cube content.
+        let bytes = c.snapshot_bytes(3).unwrap();
+        let (back, _) = SamplingCube::from_snapshot_bytes(bytes.clone()).unwrap();
+        assert_eq!(back.snapshot_bytes(3).unwrap(), bytes);
+    }
+
+    #[test]
+    fn snapshot_file_round_trip() {
+        let c = cube();
+        let dir = std::env::temp_dir().join(format!("tabula-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cube.tabsnap");
+        let written = c.write_snapshot(&path, 1).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let (back, info) = SamplingCube::from_snapshot(&path).unwrap();
+        assert_eq!(info.file_bytes, written);
+        assert_eq!(back.materialized_cells(), c.materialized_cells());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

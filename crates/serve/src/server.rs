@@ -27,7 +27,7 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use tabula_core::incremental::{refresh, RefreshConfig, RefreshStats};
 use tabula_core::loss::AccuracyLoss;
-use tabula_core::{Result, SampleProvenance, SamplingCube};
+use tabula_core::{Result, SampleProvenance, SamplingCube, SnapshotInfo};
 use tabula_obs::metrics::{Counter, Histogram, Registry};
 use tabula_obs::trace::{QueryTrace, Stage, TraceProvenance, Tracer};
 use tabula_obs::window::WindowedHistogram;
@@ -323,6 +323,30 @@ impl Server {
         Ok(())
     }
 
+    /// Freeze the currently served generation into a snapshot file at
+    /// `path`, stamping the generation's cache epoch into the manifest.
+    /// Returns the bytes written.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<u64> {
+        let (cube, epoch) = {
+            let g = self.generation.read().unwrap();
+            (Arc::clone(&g.cube), g.epoch)
+        };
+        cube.write_snapshot(path, epoch)
+    }
+
+    /// Install a generation thawed from a snapshot file. The `ServeIndex`
+    /// is **rebuilt** from the thawed cube (it is a deterministic pure
+    /// function of cube content, see DESIGN.md §11) and the live cache
+    /// epoch still advances monotonically — previously cached answers are
+    /// invalidated exactly as for [`install`](Self::install). The returned
+    /// [`SnapshotInfo`] carries the manifest epoch as provenance of the
+    /// generation that wrote the file; it does not reset the local clock.
+    pub fn install_snapshot(&self, path: &std::path::Path) -> Result<SnapshotInfo> {
+        let (cube, info) = SamplingCube::from_snapshot(path)?;
+        self.install(Arc::new(cube.with_registry(&self.registry)))?;
+        Ok(info)
+    }
+
     /// Incrementally refresh the served cube against `new_table` (the
     /// current table with rows appended) and install the result. Cached
     /// answers from the previous generation are invalidated atomically
@@ -591,5 +615,40 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.histograms[SERVE_QUERY_NS].count, 5);
         assert_eq!(snap.windows[SERVE_QUERY_NS].hist.count, 5);
+    }
+
+    /// Pins the snapshot contract for serve-layer state (DESIGN.md §11):
+    /// the `ServeIndex` and the answer-cache epoch are NOT persisted —
+    /// the index is rebuilt from the thawed cube (and must cover exactly
+    /// the same cells), and installing a snapshot advances the live cache
+    /// epoch so answers cached before the install can never be served
+    /// after it. The manifest epoch is returned as provenance only.
+    #[test]
+    fn snapshot_install_rebuilds_index_and_invalidates_cache() {
+        let registry = Arc::new(Registry::new());
+        let srv = server(&registry);
+        let pred = Predicate::eq("M", "cash");
+        let before = srv.query(&pred).unwrap();
+        assert!(srv.query(&pred).unwrap().cached, "second query must be a cache hit");
+
+        let dir = std::env::temp_dir().join(format!("tabula-serve-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.tabsnap");
+        srv.save_snapshot(&path).unwrap();
+
+        let cells_before = srv.indexed_cells();
+        let info = srv.install_snapshot(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Index is rebuilt, not loaded — and covers the same cells.
+        assert_eq!(srv.indexed_cells(), cells_before);
+        assert_eq!(info.cells, cells_before);
+        assert_eq!(srv.cube().materialized_cells(), cells_before);
+        // The pre-install cached answer is unreachable: the first query
+        // against the new generation is a miss, then hits again.
+        let after = srv.query(&pred).unwrap();
+        assert!(!after.cached, "install must invalidate the cache");
+        assert_eq!(after.rows, before.rows, "thawed generation answers identically");
+        assert!(srv.query(&pred).unwrap().cached);
     }
 }

@@ -9,7 +9,7 @@ use std::time::Instant;
 use tabula_core::cube::{BuildStats, SampleProvenance, SamplingCube};
 use tabula_core::loss::expr::{Expr, ExprLoss};
 use tabula_core::loss::{HeatmapLoss, HistogramLoss, MeanLoss, Metric, RegressionLoss};
-use tabula_core::{MaterializationMode, SamplingCubeBuilder, SerflingConfig};
+use tabula_core::{MaterializationMode, SamplingCubeBuilder, SerflingConfig, SnapshotInfo};
 use tabula_obs as obs;
 use tabula_obs::span;
 use tabula_obs::trace::{CompletedTrace, Stage, TraceProvenance, Tracer};
@@ -196,6 +196,41 @@ impl Session {
     /// generation installs).
     pub fn cube_server(&self, name: &str) -> Option<&Server> {
         self.cubes.get(name).map(|entry| &entry.server)
+    }
+
+    /// Names of the cubes registered in this session, sorted.
+    pub fn cube_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.cubes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Freeze cube `name`'s current serving generation into a snapshot
+    /// file (the REPL's `\save`). Returns the bytes written.
+    pub fn save_cube(&self, name: &str, path: &std::path::Path) -> Result<u64> {
+        let entry = self
+            .cubes
+            .get(name)
+            .ok_or(SqlError::Unknown { kind: "cube", name: name.to_string() })?;
+        Ok(entry.server.save_snapshot(path)?)
+    }
+
+    /// Thaw a cube from a snapshot file and register it under `name` (the
+    /// REPL's `\load`). If the name is already served, the snapshot is
+    /// installed as a new generation — cached answers from the previous
+    /// generation are invalidated atomically, exactly as for a refresh.
+    pub fn load_cube(&mut self, name: &str, path: &std::path::Path) -> Result<SnapshotInfo> {
+        if let Some(entry) = self.cubes.get_mut(name) {
+            let info = entry.server.install_snapshot(path)?;
+            entry.cube = entry.server.cube();
+            return Ok(info);
+        }
+        let (cube, info) = SamplingCube::from_snapshot(path).map_err(SqlError::from)?;
+        let cube = Arc::new(cube.with_registry(&self.registry));
+        let server = Server::in_registry(Arc::clone(&cube), &self.registry)?
+            .with_tracer(Arc::clone(&self.tracer));
+        self.cubes.insert(name.to_string(), ServedCube { cube, server });
+        Ok(info)
     }
 
     /// Parse and execute one statement.

@@ -1,47 +1,53 @@
 //! Typed columnar storage.
 
 use crate::dictionary::Dictionary;
+use crate::shared::ColumnBuf;
 use crate::types::{ColumnType, Point, Value};
 use serde::{Deserialize, Serialize};
 
 /// A single column of a table, stored contiguously by type.
+///
+/// Each variant's data sits behind a [`ColumnBuf`]: owned and growable
+/// on the build/ingest path, or a shared zero-copy view into a snapshot
+/// image on the restore path. Reads are identical either way; mutation
+/// of a shared column promotes it to an owned copy first.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Column {
     /// 64-bit integers.
-    Int64(Vec<i64>),
+    Int64(ColumnBuf<i64>),
     /// 64-bit floats.
-    Float64(Vec<f64>),
+    Float64(ColumnBuf<f64>),
     /// Dictionary-encoded strings.
     Str {
         /// Per-row dictionary codes.
-        codes: Vec<u32>,
+        codes: ColumnBuf<u32>,
         /// The shared dictionary for this column.
         dict: Dictionary,
     },
     /// 2-D points.
-    Point(Vec<Point>),
+    Point(ColumnBuf<Point>),
 }
 
 impl Column {
     /// An empty column of the given type.
     pub fn empty(ty: ColumnType) -> Self {
         match ty {
-            ColumnType::Int64 => Column::Int64(Vec::new()),
-            ColumnType::Float64 => Column::Float64(Vec::new()),
-            ColumnType::Str => Column::Str { codes: Vec::new(), dict: Dictionary::new() },
-            ColumnType::Point => Column::Point(Vec::new()),
+            ColumnType::Int64 => Column::Int64(Vec::new().into()),
+            ColumnType::Float64 => Column::Float64(Vec::new().into()),
+            ColumnType::Str => Column::Str { codes: Vec::new().into(), dict: Dictionary::new() },
+            ColumnType::Point => Column::Point(Vec::new().into()),
         }
     }
 
     /// An empty column of the given type with row capacity pre-reserved.
     pub fn with_capacity(ty: ColumnType, capacity: usize) -> Self {
         match ty {
-            ColumnType::Int64 => Column::Int64(Vec::with_capacity(capacity)),
-            ColumnType::Float64 => Column::Float64(Vec::with_capacity(capacity)),
+            ColumnType::Int64 => Column::Int64(Vec::with_capacity(capacity).into()),
+            ColumnType::Float64 => Column::Float64(Vec::with_capacity(capacity).into()),
             ColumnType::Str => {
-                Column::Str { codes: Vec::with_capacity(capacity), dict: Dictionary::new() }
+                Column::Str { codes: Vec::with_capacity(capacity).into(), dict: Dictionary::new() }
             }
-            ColumnType::Point => Column::Point(Vec::with_capacity(capacity)),
+            ColumnType::Point => Column::Point(Vec::with_capacity(capacity).into()),
         }
     }
 
@@ -85,25 +91,25 @@ impl Column {
     pub(crate) fn push(&mut self, value: &Value) -> bool {
         match (self, value) {
             (Column::Int64(v), Value::Int64(x)) => {
-                v.push(*x);
+                v.to_mut().push(*x);
                 true
             }
             (Column::Float64(v), Value::Float64(x)) => {
-                v.push(*x);
+                v.to_mut().push(*x);
                 true
             }
             (Column::Float64(v), Value::Int64(x)) => {
                 // Integers widen into float columns losslessly enough for
                 // this engine's measure columns.
-                v.push(*x as f64);
+                v.to_mut().push(*x as f64);
                 true
             }
             (Column::Str { codes, dict }, Value::Str(s)) => {
-                codes.push(dict.encode(s));
+                codes.to_mut().push(dict.encode(s));
                 true
             }
             (Column::Point(v), Value::Point(p)) => {
-                v.push(*p);
+                v.to_mut().push(*p);
                 true
             }
             _ => false,
@@ -124,12 +130,12 @@ impl Column {
             out
         }
         match self {
-            Column::Int64(v) => Column::Int64(gather(v, rows)),
-            Column::Float64(v) => Column::Float64(gather(v, rows)),
+            Column::Int64(v) => Column::Int64(gather(v, rows).into()),
+            Column::Float64(v) => Column::Float64(gather(v, rows).into()),
             Column::Str { codes, dict } => {
-                Column::Str { codes: gather(codes, rows), dict: dict.clone() }
+                Column::Str { codes: gather(codes, rows).into(), dict: dict.clone() }
             }
-            Column::Point(v) => Column::Point(gather(v, rows)),
+            Column::Point(v) => Column::Point(gather(v, rows).into()),
         }
     }
 
@@ -150,21 +156,23 @@ impl Column {
             out.extend(rows.iter().map(|&r| src[r as usize]));
         }
         match (self, out) {
-            (Column::Int64(v), Column::Int64(o)) => gather_into(v, rows, o),
-            (Column::Float64(v), Column::Float64(o)) => gather_into(v, rows, o),
+            (Column::Int64(v), Column::Int64(o)) => gather_into(v, rows, o.to_mut()),
+            (Column::Float64(v), Column::Float64(o)) => gather_into(v, rows, o.to_mut()),
             (Column::Str { codes, dict }, Column::Str { codes: ocodes, dict: odict }) => {
-                gather_into(codes, rows, ocodes);
+                gather_into(codes, rows, ocodes.to_mut());
                 if odict.len() != dict.len() {
                     *odict = dict.clone();
                 }
             }
-            (Column::Point(v), Column::Point(o)) => gather_into(v, rows, o),
+            (Column::Point(v), Column::Point(o)) => gather_into(v, rows, o.to_mut()),
             _ => return false,
         }
         true
     }
 
-    /// Capacity (in rows) of the column's backing buffer.
+    /// Capacity (in rows) of the column's backing buffer. Shared
+    /// (snapshot-backed) columns are not growable and report their
+    /// length.
     pub fn capacity(&self) -> usize {
         match self {
             Column::Int64(v) => v.capacity(),

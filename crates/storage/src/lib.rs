@@ -35,6 +35,7 @@ pub mod kernel;
 pub mod packed;
 pub mod predicate;
 pub mod schema;
+pub mod shared;
 pub mod table;
 pub mod types;
 
@@ -48,6 +49,7 @@ pub use kernel::{chunk_rows, kernel_mode, set_kernel_mode, KernelMode, Selection
 pub use packed::{KeyLayout, PackedCodes, PackedKeyBuf};
 pub use predicate::{CmpOp, Predicate, ScanKernel, ScanStats};
 pub use schema::{Field, Schema};
+pub use shared::{ColumnBuf, SharedSlice};
 pub use table::{RowId, Table, TableBuilder};
 pub use types::{ColumnType, Point, Value};
 

@@ -1,0 +1,198 @@
+//! Shared column backing: slices that borrow a refcounted allocation.
+//!
+//! The snapshot load path views 100+ MB of column data directly inside
+//! the snapshot file image instead of copying it out — [`SharedSlice`]
+//! is the piece that makes those views safe to hold in long-lived
+//! structures: it carries an `Arc` to the owning allocation, so a
+//! restored table keeps the snapshot buffer alive exactly as long as any
+//! column still references it. [`ColumnBuf`] then lets [`Column`] hold
+//! either kind of backing — owned and growable (the build/ingest path)
+//! or shared and immutable (the restore path) — behind one `&[T]` view,
+//! with copy-on-write promotion if a shared column is ever mutated.
+//!
+//! [`Column`]: crate::Column
+
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// An immutable `&[T]` view whose backing memory is kept alive by a
+/// shared owner. Cloning clones the `Arc`, not the data.
+pub struct SharedSlice<T> {
+    /// Keeps the backing allocation alive; never read through.
+    _owner: Arc<dyn Any + Send + Sync>,
+    ptr: *const T,
+    len: usize,
+}
+
+impl<T> SharedSlice<T> {
+    /// View `slice` with its lifetime guaranteed by `owner`.
+    ///
+    /// # Safety
+    ///
+    /// `slice` must point into memory owned by `owner`, and that memory
+    /// must stay valid, immutable and at the same address for as long as
+    /// `owner` (or any clone of it) is alive. In particular the owner
+    /// must not be interior-mutable in a way that moves or frees the
+    /// viewed range.
+    pub unsafe fn new(owner: Arc<dyn Any + Send + Sync>, slice: &[T]) -> Self {
+        SharedSlice { _owner: owner, ptr: slice.as_ptr(), len: slice.len() }
+    }
+}
+
+// Safety: the view is immutable, so sharing/sending it across threads is
+// exactly as safe as sharing `&[T]` plus an `Arc` handle.
+unsafe impl<T: Send + Sync> Send for SharedSlice<T> {}
+unsafe impl<T: Send + Sync> Sync for SharedSlice<T> {}
+
+impl<T> Deref for SharedSlice<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // Safety: `new`'s contract guarantees ptr/len stay valid while
+        // `_owner` is held.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        SharedSlice { _owner: Arc::clone(&self._owner), ptr: self.ptr, len: self.len }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A column's backing store: an owned, growable `Vec<T>` (built data) or
+/// a [`SharedSlice`] into a refcounted allocation (restored data).
+///
+/// Reads go through `Deref<Target = [T]>`, identical for both variants.
+/// Mutation goes through [`ColumnBuf::to_mut`], which promotes a shared
+/// view to an owned copy first — so sharing is invisible to correctness
+/// and only ever an optimization.
+#[derive(Clone, Debug)]
+pub enum ColumnBuf<T> {
+    /// Growable, exclusively owned data.
+    Owned(Vec<T>),
+    /// Immutable view into a shared allocation.
+    Shared(SharedSlice<T>),
+}
+
+impl<T> Deref for ColumnBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        match self {
+            ColumnBuf::Owned(v) => v,
+            ColumnBuf::Shared(s) => s,
+        }
+    }
+}
+
+impl<T: Clone> ColumnBuf<T> {
+    /// Mutable access, promoting a shared view to an owned copy first
+    /// (copy-on-write).
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let ColumnBuf::Shared(s) = self {
+            *self = ColumnBuf::Owned(s.to_vec());
+        }
+        match self {
+            ColumnBuf::Owned(v) => v,
+            ColumnBuf::Shared(_) => unreachable!("just promoted"),
+        }
+    }
+}
+
+impl<T> ColumnBuf<T> {
+    /// Spare capacity in rows: a shared view is not growable, so it
+    /// reports no headroom beyond its length.
+    pub fn capacity(&self) -> usize {
+        match self {
+            ColumnBuf::Owned(v) => v.capacity(),
+            ColumnBuf::Shared(s) => s.len(),
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for ColumnBuf<T> {
+    fn from(v: Vec<T>) -> Self {
+        ColumnBuf::Owned(v)
+    }
+}
+
+impl<T> From<SharedSlice<T>> for ColumnBuf<T> {
+    fn from(s: SharedSlice<T>) -> Self {
+        ColumnBuf::Shared(s)
+    }
+}
+
+impl<T> Default for ColumnBuf<T> {
+    fn default() -> Self {
+        ColumnBuf::Owned(Vec::new())
+    }
+}
+
+// On the wire a ColumnBuf is indistinguishable from its element sequence
+// — shared and owned backings serialize identically, and deserialized
+// data is always owned.
+impl<T: Serialize> Serialize for ColumnBuf<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for ColumnBuf<T> {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(ColumnBuf::Owned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_from(owner: Arc<Vec<u32>>) -> SharedSlice<u32> {
+        let slice: &[u32] = &owner;
+        // Safety: the slice lives inside the Arc'd Vec, which SharedSlice
+        // keeps alive; Vec data never moves after construction.
+        unsafe { SharedSlice::new(Arc::clone(&owner) as Arc<dyn Any + Send + Sync>, slice) }
+    }
+
+    #[test]
+    fn shared_reads_like_a_slice_and_outlives_its_handle() {
+        let owner = Arc::new(vec![10u32, 20, 30]);
+        let s = shared_from(Arc::clone(&owner));
+        drop(owner); // the view keeps the allocation alive on its own
+        assert_eq!(&*s, &[10, 20, 30]);
+        let s2 = s.clone();
+        drop(s);
+        assert_eq!(s2[1], 20);
+    }
+
+    #[test]
+    fn to_mut_promotes_shared_to_owned_copy() {
+        let owner = Arc::new(vec![1u32, 2, 3]);
+        let mut buf: ColumnBuf<u32> = shared_from(Arc::clone(&owner)).into();
+        assert_eq!(buf.capacity(), 3);
+        buf.to_mut().push(4);
+        assert_eq!(&*buf, &[1, 2, 3, 4]);
+        assert_eq!(&*owner, &[1, 2, 3], "promotion must not touch the shared backing");
+        assert!(matches!(buf, ColumnBuf::Owned(_)));
+    }
+
+    #[test]
+    fn serde_round_trips_shared_as_owned() {
+        let owner = Arc::new(vec![7u32, 8]);
+        let buf: ColumnBuf<u32> = shared_from(owner).into();
+        let json = serde_json::to_string(&buf).unwrap();
+        assert_eq!(json, "[7,8]");
+        let back: ColumnBuf<u32> = serde_json::from_str(&json).unwrap();
+        assert!(matches!(back, ColumnBuf::Owned(_)));
+        assert_eq!(&*back, &*buf);
+    }
+}

@@ -168,6 +168,43 @@ impl Table {
         Table { schema, columns, len: 0, int_cat: (0..n).map(|_| OnceLock::new()).collect() }
     }
 
+    /// Assemble a table directly from pre-built columns (the snapshot
+    /// loader's entry point). Column count, types and lengths must agree
+    /// with the schema; `Str` dictionaries must already have their
+    /// reverse index (the loader rebuilds them via `Dictionary::encode`).
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Table> {
+        if columns.len() != schema.fields().len() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.fields().len(),
+                got: columns.len(),
+            });
+        }
+        let mut len = None;
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if col.column_type() != field.ty {
+                return Err(StorageError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.ty,
+                    got: col.column_type().name(),
+                });
+            }
+            match len {
+                None => len = Some(col.len()),
+                Some(n) if n != col.len() => {
+                    return Err(StorageError::ArityMismatch { expected: n, got: col.len() })
+                }
+                _ => {}
+            }
+        }
+        let n = columns.len();
+        Ok(Table {
+            schema,
+            columns,
+            len: len.unwrap_or(0),
+            int_cat: (0..n).map(|_| OnceLock::new()).collect(),
+        })
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

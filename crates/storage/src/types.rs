@@ -16,6 +16,16 @@ pub enum ColumnType {
 }
 
 impl ColumnType {
+    /// A short name for the type, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int64 => "Int64",
+            ColumnType::Float64 => "Float64",
+            ColumnType::Str => "Str",
+            ColumnType::Point => "Point",
+        }
+    }
+
     /// Whether the type can serve as a cubed (grouping) attribute.
     pub fn is_categorical(self) -> bool {
         matches!(self, ColumnType::Int64 | ColumnType::Str)
@@ -35,7 +45,10 @@ impl ColumnType {
 
 /// A 2-D point (longitude/latitude or projected metres — the engine is
 /// agnostic; distance semantics are chosen by the caller).
+// repr(C) pins the x,y layout so snapshot blocks of interleaved f64
+// pairs can be viewed as `[Point]` without decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,

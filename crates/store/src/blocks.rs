@@ -1,0 +1,171 @@
+//! Block encoders: fixed-width column payloads and the dictionary block.
+//!
+//! Everything is little-endian raw words. Encoding is a cast + copy;
+//! decoding on the read side is a typed reinterpretation of the mapped
+//! bytes (see [`crate::reader::BlockView`]) — the functions here exist so
+//! the writer, the reader's validators, and the property tests all agree
+//! on one byte layout.
+
+use tabula_storage::{Column, Dictionary};
+
+use crate::{Result, StoreError};
+
+/// Encode a `&[u32]` as little-endian bytes.
+pub fn encode_u32s(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a `&[u64]` as little-endian bytes.
+pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a `&[i64]` as little-endian bytes.
+pub fn encode_i64s(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a `&[f64]` as little-endian **bit patterns** — NaN payloads and
+/// signed zeros survive the round trip untouched.
+pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// The encoded payload(s) of one [`Column`]. `Str` columns produce two
+/// blocks (codes + dictionary); every other type produces one.
+#[derive(Debug)]
+pub enum ColumnBlocks {
+    /// Raw i64 words.
+    Int64(Vec<u8>),
+    /// Raw f64 bit patterns.
+    Float64(Vec<u8>),
+    /// Dictionary codes plus the dictionary block itself.
+    Str {
+        /// Raw u32 codes, one per row.
+        codes: Vec<u8>,
+        /// Dictionary block (see [`encode_dict`]).
+        dict: Vec<u8>,
+    },
+    /// Interleaved `x, y` f64 bit patterns, two words per point.
+    Point(Vec<u8>),
+}
+
+/// Encode a column into its block payload(s).
+pub fn encode_column(col: &Column) -> ColumnBlocks {
+    match col {
+        Column::Int64(v) => ColumnBlocks::Int64(encode_i64s(v)),
+        Column::Float64(v) => ColumnBlocks::Float64(encode_f64s(v)),
+        Column::Str { codes, dict } => {
+            ColumnBlocks::Str { codes: encode_u32s(codes), dict: encode_dict(dict) }
+        }
+        Column::Point(pts) => {
+            let mut out = Vec::with_capacity(pts.len() * 16);
+            for p in pts.iter() {
+                out.extend_from_slice(&p.x.to_bits().to_le_bytes());
+                out.extend_from_slice(&p.y.to_bits().to_le_bytes());
+            }
+            ColumnBlocks::Point(out)
+        }
+    }
+}
+
+/// Encode a dictionary: `[count: u64][offsets: (count+1) × u64][utf8]`.
+///
+/// Offsets are cumulative byte positions into the trailing UTF-8 heap;
+/// entry `i` is `bytes[offsets[i]..offsets[i+1]]`. Entries appear in code
+/// order, so re-encoding them in sequence on load reproduces the exact
+/// same code assignment (codes are dense and first-seen ordered).
+pub fn encode_dict(dict: &Dictionary) -> Vec<u8> {
+    let count = dict.len();
+    let mut offsets = Vec::with_capacity(count + 1);
+    let mut heap = Vec::new();
+    offsets.push(0u64);
+    for code in 0..count as u32 {
+        heap.extend_from_slice(dict.decode(code).as_bytes());
+        offsets.push(heap.len() as u64);
+    }
+    let mut out = Vec::with_capacity(8 + offsets.len() * 8 + heap.len());
+    out.extend_from_slice(&(count as u64).to_le_bytes());
+    for off in &offsets {
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    out.extend_from_slice(&heap);
+    out
+}
+
+/// Decode a dictionary block into its strings, in code order. Every
+/// structural fault (short header, non-monotonic offsets, heap overrun,
+/// invalid UTF-8) is a typed [`StoreError::BadBlock`].
+pub fn decode_dict_strings(region: &str, bytes: &[u8]) -> Result<Vec<String>> {
+    let bad = |reason: String| StoreError::BadBlock { region: region.to_string(), reason };
+    let read_u64 = |at: usize| -> Result<u64> {
+        let end = at.checked_add(8).filter(|&e| e <= bytes.len());
+        let end = end.ok_or_else(|| bad(format!("u64 at byte {at} overruns block")))?;
+        Ok(u64::from_le_bytes(bytes[at..end].try_into().unwrap()))
+    };
+    let count = read_u64(0)? as usize;
+    let table_end = count
+        .checked_add(2)
+        .and_then(|n| n.checked_mul(8))
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| bad(format!("offset table for {count} entries overruns block")))?;
+    let heap = &bytes[table_end..];
+    let mut strings = Vec::with_capacity(count);
+    let mut prev = read_u64(8)?;
+    if prev != 0 {
+        return Err(bad(format!("first offset is {prev}, expected 0")));
+    }
+    for i in 0..count {
+        let next = read_u64(16 + i * 8)?;
+        if next < prev || next as usize > heap.len() {
+            return Err(bad(format!(
+                "offset {next} for entry {i} is non-monotonic or overruns heap of {} bytes",
+                heap.len()
+            )));
+        }
+        let s = std::str::from_utf8(&heap[prev as usize..next as usize])
+            .map_err(|e| bad(format!("entry {i} is not UTF-8: {e}")))?;
+        strings.push(s.to_string());
+        prev = next;
+    }
+    if prev as usize != heap.len() {
+        return Err(bad(format!(
+            "heap has {} trailing bytes past the last offset",
+            heap.len() - prev as usize
+        )));
+    }
+    Ok(strings)
+}
+
+/// Rebuild a [`Dictionary`] from its decoded strings. Codes are assigned
+/// first-seen, so encoding in code order reproduces the original mapping;
+/// a duplicate entry means the block lies about its own structure.
+pub fn rebuild_dict(region: &str, strings: &[String]) -> Result<Dictionary> {
+    let mut dict = Dictionary::new();
+    for (i, s) in strings.iter().enumerate() {
+        let code = dict.encode(s);
+        if code != i as u32 {
+            return Err(StoreError::BadBlock {
+                region: region.to_string(),
+                reason: format!("duplicate dictionary entry {s:?} at code {i}"),
+            });
+        }
+    }
+    Ok(dict)
+}

@@ -1,0 +1,71 @@
+//! On-disk layout constants and the manifest schema.
+//!
+//! The manifest is the only JSON in the file; everything else is raw
+//! little-endian words. It is deliberately small (one entry per block) so
+//! parsing it is O(blocks), not O(rows).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StoreError};
+
+/// File magic, present in both the header and the footer. The trailing
+/// `1` is cosmetic; real versioning lives in the header `version` field.
+pub const MAGIC: [u8; 8] = *b"TABSNAP1";
+
+/// Current snapshot format version. Bump on any incompatible layout
+/// change; readers reject files with a different header version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header: magic (8) + version u32 (4) + reserved u32 (4).
+pub const HEADER_LEN: u64 = 16;
+
+/// Footer: manifest_offset + manifest_len + manifest_crc64 + file_crc64 +
+/// reserved (5 × u64) + magic (8).
+pub const FOOTER_LEN: u64 = 48;
+
+/// One block's entry in the manifest table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockDesc {
+    /// Block name, unique within the snapshot (e.g. `col:2:codes`).
+    pub name: String,
+    /// Absolute byte offset of the payload in the file. Always a
+    /// multiple of 8 so typed reinterpretation is aligned.
+    pub offset: u64,
+    /// Payload length in bytes (unpadded).
+    pub len: u64,
+    /// Logical row / entry count, for sanity checks at decode time.
+    pub rows: u64,
+    /// CRC-64 of the payload bytes.
+    pub crc64: u64,
+}
+
+/// The snapshot manifest: version echo, provenance, and the block table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version, must match the header (two independently damaged
+    /// copies cannot agree by accident).
+    pub format_version: u32,
+    /// Serving-generation epoch at write time, stamped back into the
+    /// server on install for provenance.
+    pub epoch: u64,
+    /// Human-readable writer identity (`tabula-store/<crate version>`).
+    pub producer: String,
+    /// Writer-defined payload (JSON string). `tabula-core` stores the
+    /// cube's attrs, θ, key encoding and build stats here; the store
+    /// layer never interprets it.
+    pub meta: String,
+    /// The block table, in file order.
+    pub blocks: Vec<BlockDesc>,
+}
+
+impl Manifest {
+    /// Look up a block by name.
+    pub fn block(&self, name: &str) -> Option<&BlockDesc> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+
+    /// Look up a block the loader cannot proceed without.
+    pub fn require(&self, name: &str) -> Result<&BlockDesc> {
+        self.block(name).ok_or_else(|| StoreError::MissingBlock(name.to_string()))
+    }
+}

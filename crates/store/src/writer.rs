@@ -1,0 +1,135 @@
+//! [`SnapshotWriter`]: builds the snapshot byte stream in memory, then
+//! writes it in one `write_all`. Snapshots are immutable — there is no
+//! append or in-place update path, a new generation is a new file.
+
+use std::path::Path;
+use std::time::Instant;
+
+use crate::checksum::crc64;
+use crate::format::{BlockDesc, Manifest, FOOTER_LEN, FORMAT_VERSION, HEADER_LEN, MAGIC};
+use crate::{Result, StoreError, STORE_BYTES, STORE_WRITE_NS};
+
+/// Accumulates blocks and emits the final header/blocks/manifest/footer
+/// byte stream.
+pub struct SnapshotWriter {
+    version: u32,
+    epoch: u64,
+    meta: String,
+    buf: Vec<u8>,
+    blocks: Vec<BlockDesc>,
+}
+
+impl SnapshotWriter {
+    /// Start a snapshot at the current [`FORMAT_VERSION`].
+    pub fn new() -> Self {
+        Self::with_version(FORMAT_VERSION)
+    }
+
+    /// Start a snapshot claiming an arbitrary format version. Exists so
+    /// the corruption tests can author a structurally valid file from a
+    /// past (or future) version and prove the reader rejects it; the
+    /// production path always uses [`SnapshotWriter::new`].
+    pub fn with_version(version: u32) -> Self {
+        let mut buf = Vec::with_capacity(64 * 1024);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&version.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        SnapshotWriter { version, epoch: 0, meta: String::new(), buf, blocks: Vec::new() }
+    }
+
+    /// Stamp the serving-generation epoch into the manifest.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Attach the writer-defined meta payload (a JSON string for cube
+    /// snapshots; the store layer treats it as opaque).
+    pub fn set_meta(&mut self, meta: String) {
+        self.meta = meta;
+    }
+
+    /// Append one block. The payload is checksummed and padded to the
+    /// next 8-byte boundary so the reader's typed views stay aligned.
+    /// Duplicate names are a writer bug and rejected immediately.
+    pub fn add_block(&mut self, name: &str, rows: u64, payload: &[u8]) -> Result<()> {
+        if self.blocks.iter().any(|b| b.name == name) {
+            return Err(StoreError::BadBlock {
+                region: format!("block:{name}"),
+                reason: "duplicate block name".to_string(),
+            });
+        }
+        debug_assert_eq!(self.buf.len() % 8, 0);
+        let desc = BlockDesc {
+            name: name.to_string(),
+            offset: self.buf.len() as u64,
+            len: payload.len() as u64,
+            rows,
+            crc64: crc64(payload),
+        };
+        self.buf.extend_from_slice(payload);
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+        self.blocks.push(desc);
+        Ok(())
+    }
+
+    /// Seal the snapshot: append the manifest and footer and return the
+    /// complete file image.
+    pub fn finish(self) -> Result<Vec<u8>> {
+        let SnapshotWriter { version, epoch, meta, mut buf, blocks } = self;
+        let manifest = Manifest {
+            format_version: version,
+            epoch,
+            producer: format!("tabula-store/{}", env!("CARGO_PKG_VERSION")),
+            meta,
+            blocks,
+        };
+        let manifest_json = serde_json::to_string(&manifest)
+            .map_err(|e| StoreError::CorruptManifest(format!("serialize failed: {e}")))?;
+        let manifest_offset = buf.len() as u64;
+        let manifest_bytes = manifest_json.as_bytes();
+        buf.extend_from_slice(manifest_bytes);
+        // The file CRC covers header + blocks + manifest; the footer's
+        // own fields are each independently validated by the reader.
+        let file_crc = crc64(&buf);
+        buf.extend_from_slice(&manifest_offset.to_le_bytes());
+        buf.extend_from_slice(&(manifest_bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc64(manifest_bytes).to_le_bytes());
+        buf.extend_from_slice(&file_crc.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // reserved
+        buf.extend_from_slice(&MAGIC);
+        debug_assert!(buf.len() as u64 >= HEADER_LEN + FOOTER_LEN);
+        Ok(buf)
+    }
+
+    /// Seal the snapshot and write it to `path` (via a same-directory
+    /// temporary so a crash mid-write never leaves a half snapshot under
+    /// the final name). The temporary is fsynced before the rename — the
+    /// rename must never publish a name whose bytes are still only in the
+    /// page cache, and flushing here also keeps writeback from competing
+    /// with an immediately following load of the same file. Returns the
+    /// byte count; records `store.write_ns` and `store.bytes`.
+    pub fn write_to(self, path: &Path) -> Result<u64> {
+        let start = Instant::now();
+        let bytes = self.finish()?;
+        let tmp = path.with_extension("tmp-tabsnap");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let reg = tabula_obs::global();
+        reg.histogram(STORE_WRITE_NS).record_duration(start.elapsed());
+        reg.counter(STORE_BYTES).add(bytes.len() as u64);
+        Ok(bytes.len() as u64)
+    }
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}

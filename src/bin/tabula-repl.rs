@@ -18,6 +18,11 @@
 //! * `\trace` — dump the flight recorder's recent traces as JSONL
 //!   (`\trace slow` for the always-retained slow-query ring);
 //! * `\timing` — toggle printing each statement's wall time;
+//! * `\save <cube> [path]` — freeze a cube's serving generation into a
+//!   snapshot file (default `$TABULA_STORE_DIR/<cube>.tabsnap`, falling
+//!   back to the current directory);
+//! * `\load <cube> [path]` — thaw a snapshot and serve it under `<cube>`
+//!   (installing as a new generation if the name is already served);
 //! * `\q` — quit.
 //!
 //! Tracing is on by default in the shell (every query is recorded);
@@ -129,10 +134,39 @@ fn main() {
             println!("timing is {}", if timing { "on" } else { "off" });
             continue;
         }
+        if let Some(rest) = line.strip_prefix("\\save") {
+            match parse_snapshot_args(rest) {
+                Some((cube, path)) => match session.save_cube(&cube, &path) {
+                    Ok(bytes) => {
+                        println!("cube {cube} saved to {} ({bytes} bytes)", path.display())
+                    }
+                    Err(e) => println!("save failed: {e}"),
+                },
+                None => println!("usage: \\save <cube> [path] (default dir: $TABULA_STORE_DIR)"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\load") {
+            match parse_snapshot_args(rest) {
+                Some((cube, path)) => match session.load_cube(&cube, &path) {
+                    Ok(info) => println!(
+                        "cube {cube} loaded from {} ({} cells, {} bytes, epoch {})",
+                        path.display(),
+                        info.cells,
+                        info.file_bytes,
+                        info.epoch
+                    ),
+                    Err(e) => println!("load failed: {e}"),
+                },
+                None => println!("usage: \\load <cube> [path] (default dir: $TABULA_STORE_DIR)"),
+            }
+            continue;
+        }
         if line.starts_with('\\') {
             println!(
                 "unknown command {line} — available: \\metrics, \\metrics prom, \
-                 \\metrics reset, \\trace, \\trace slow, \\timing, \\q"
+                 \\metrics reset, \\trace, \\trace slow, \\timing, \\save <cube> [path], \
+                 \\load <cube> [path], \\q"
             );
             continue;
         }
@@ -177,6 +211,25 @@ fn print_rows(table: &tabula::storage::Table, limit: usize) {
     if table.len() > limit {
         println!("  … {} more", table.len() - limit);
     }
+}
+
+/// Parse `\save` / `\load` arguments: `<cube> [path]`. With no explicit
+/// path, the snapshot lives at `$TABULA_STORE_DIR/<cube>.tabsnap`
+/// (current directory when the variable is unset).
+fn parse_snapshot_args(rest: &str) -> Option<(String, std::path::PathBuf)> {
+    let mut parts = rest.split_whitespace();
+    let cube = parts.next()?.to_string();
+    let path = match parts.next() {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let dir = std::env::var("TABULA_STORE_DIR").unwrap_or_else(|_| ".".into());
+            std::path::Path::new(&dir).join(format!("{cube}.tabsnap"))
+        }
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((cube, path))
 }
 
 /// Minimal interactive-stdin detection without external crates: honour an

@@ -18,4 +18,5 @@ pub use tabula_obs as obs;
 pub use tabula_serve as serve;
 pub use tabula_sql as sql;
 pub use tabula_storage as storage;
+pub use tabula_store as store;
 pub use tabula_viz as viz;

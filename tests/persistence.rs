@@ -41,6 +41,90 @@ fn cube_round_trips_through_json_and_keeps_the_guarantee() {
     }
 }
 
+/// Env var carrying the snapshot path when this test re-invokes itself.
+const XPROC_VAR: &str = "TABULA_SNAP_XPROC_PATH";
+
+#[test]
+fn snapshot_answers_are_identical_across_processes() {
+    // The binary snapshot must be loadable by a *different* process and
+    // produce byte-identical answers — catching any accidental dependence
+    // on process-local state (interner order, hash seeds, ASLR-derived
+    // ordering). The parent builds a cube, freezes it, and replays a
+    // deterministic workload; the child (this same test, re-invoked via
+    // `std::process::Command` with `XPROC_VAR` set) thaws the snapshot and
+    // prints its answers over stdout for the parent to compare.
+    let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 6_000, seed: 23 }).generate());
+
+    // Both halves answer the same deterministic workload and render each
+    // answer as one line: index, provenance, exact row ids.
+    let answers = |cube: &SamplingCube| -> Vec<String> {
+        let workload = Workload::new(&CUBED_ATTRIBUTES[..4]);
+        workload
+            .generate(&table, 25, 77)
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let a = cube.query_cell(&q.cell);
+                let ids: Vec<String> = a.rows.iter().map(|r| r.to_string()).collect();
+                format!("ANS {i} {:?} [{}]", a.provenance, ids.join(","))
+            })
+            .collect()
+    };
+
+    if let Ok(path) = std::env::var(XPROC_VAR) {
+        // Child half: thaw and answer. Any load failure fails the child,
+        // which the parent reports with the child's stderr.
+        let (cube, _info) = SamplingCube::from_snapshot(std::path::Path::new(&path)).unwrap();
+        for line in answers(&cube) {
+            println!("{line}");
+        }
+        return;
+    }
+
+    let fare = table.schema().index_of("fare_amount").unwrap();
+    let cube = SamplingCubeBuilder::new(
+        Arc::clone(&table),
+        &CUBED_ATTRIBUTES[..4],
+        MeanLoss::new(fare),
+        0.05,
+    )
+    .seed(4)
+    .build()
+    .unwrap();
+    let path = std::env::temp_dir().join(format!("tabula-xproc-{}.tabsnap", std::process::id()));
+    cube.write_snapshot(&path, 7).unwrap();
+    let expected = answers(&cube);
+
+    let out = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "snapshot_answers_are_identical_across_processes", "--nocapture"])
+        .env(XPROC_VAR, &path)
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "child process failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The libtest harness prints "test <name> ... " without a newline
+    // before the child's first answer, so match `ANS` anywhere in a line.
+    let got: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter_map(|l| l.find("ANS ").map(|i| l[i..].to_string()))
+        .collect();
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "child answered {} of {} queries; raw child stdout:\n{}",
+        got.len(),
+        expected.len(),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert_eq!(got, expected, "cross-process answers diverged");
+}
+
 #[test]
 fn table_snapshot_plus_cube_is_fully_self_contained() {
     // Persist BOTH the raw table and the cube; reload into fresh memory.
