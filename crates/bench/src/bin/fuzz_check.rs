@@ -14,14 +14,19 @@
 //! `BENCH_fuzz_check.json` records coverage either way. `--snapshot`
 //! additionally freezes every built cube into a `tabula-store` snapshot,
 //! thaws it, and requires byte-identical fingerprints, answers and
-//! re-frozen bytes (the CI `snapshot` job's sweep).
+//! re-frozen bytes (the CI `snapshot` job's sweep). `--ingest` streams
+//! each case through the `tabula-ingest` pipeline barrier by barrier and
+//! requires the streamed cube to stay differentially equivalent to a
+//! from-scratch build on every prefix (the CI `ingest` job's sweep).
 
 use serde::Value;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 use tabula_bench::write_run_summary;
-use tabula_check::{diff_case, diff_sql_case, gen_case, shrink, CaseSpec, Divergence};
+use tabula_check::{
+    diff_case, diff_ingest_case, diff_sql_case, gen_case, shrink, CaseSpec, Divergence,
+};
 use tabula_obs as obs;
 
 struct Args {
@@ -29,10 +34,11 @@ struct Args {
     cases: u64,
     no_shrink: bool,
     snapshot: bool,
+    ingest: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 42, cases: 100, no_shrink: false, snapshot: false };
+    let mut args = Args { seed: 42, cases: 100, no_shrink: false, snapshot: false, ingest: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -44,10 +50,11 @@ fn parse_args() -> Args {
             }
             "--no-shrink" => args.no_shrink = true,
             "--snapshot" => args.snapshot = true,
+            "--ingest" => args.ingest = true,
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: fuzz_check [--seed S] [--cases N] \
-                     [--no-shrink] [--snapshot]"
+                     [--no-shrink] [--snapshot] [--ingest]"
                 );
                 std::process::exit(2);
             }
@@ -56,11 +63,32 @@ fn parse_args() -> Args {
     args
 }
 
-/// Run the cube diff and the SQL diff for one case.
-fn run_one(case: &CaseSpec, sql_seed: u64) -> Result<(usize, usize, usize), Divergence> {
+/// Per-case coverage counters accumulated into the JSON summary.
+#[derive(Default)]
+struct Coverage {
+    cells: usize,
+    queries: usize,
+    statements: usize,
+    ingest_barriers: usize,
+    ingest_cells: usize,
+}
+
+/// Run the cube diff, the SQL diff and (opt-in) the ingest lane for one case.
+fn run_one(case: &CaseSpec, sql_seed: u64, ingest: bool) -> Result<Coverage, Divergence> {
     let report = diff_case(case)?;
     let statements = diff_sql_case(case, sql_seed, 8)?;
-    Ok((report.cells_checked, report.queries_checked, statements))
+    let mut cov = Coverage {
+        cells: report.cells_checked,
+        queries: report.queries_checked,
+        statements,
+        ..Coverage::default()
+    };
+    if ingest {
+        let ingest_report = diff_ingest_case(case)?;
+        cov.ingest_barriers = ingest_report.barriers;
+        cov.ingest_cells = ingest_report.cells_checked;
+    }
+    Ok(cov)
 }
 
 fn main() -> ExitCode {
@@ -71,9 +99,7 @@ fn main() -> ExitCode {
     let registry = obs::Registry::new();
     let start = Instant::now();
 
-    let mut cells = 0usize;
-    let mut queries = 0usize;
-    let mut statements = 0usize;
+    let mut total = Coverage::default();
     let mut by_loss: BTreeMap<String, u64> = BTreeMap::new();
     let mut failure: Option<(u64, CaseSpec, Divergence)> = None;
 
@@ -82,11 +108,13 @@ fn main() -> ExitCode {
         let case = gen_case(case_seed);
         *by_loss.entry(case.loss.name().to_string()).or_default() += 1;
         let case_start = Instant::now();
-        match run_one(&case, case_seed) {
-            Ok((c, q, s)) => {
-                cells += c;
-                queries += q;
-                statements += s;
+        match run_one(&case, case_seed, args.ingest) {
+            Ok(cov) => {
+                total.cells += cov.cells;
+                total.queries += cov.queries;
+                total.statements += cov.statements;
+                total.ingest_barriers += cov.ingest_barriers;
+                total.ingest_cells += cov.ingest_cells;
                 registry.counter("fuzz.cases_passed").inc();
             }
             Err(d) => {
@@ -107,7 +135,7 @@ fn main() -> ExitCode {
             (case, first)
         } else {
             eprintln!("shrinking the diverging case...");
-            match shrink(&case, |c| run_one(c, case_seed).err()) {
+            match shrink(&case, |c| run_one(c, case_seed, args.ingest).err()) {
                 Some(s) => {
                     eprintln!(
                         "shrunk to {} rows / {} queries / {} attrs in {} attempts",
@@ -136,11 +164,14 @@ fn main() -> ExitCode {
     let extra = [
         ("seed", Value::Int(args.seed as i128)),
         ("cases", Value::Int(args.cases as i128)),
-        ("cells_checked", Value::Int(cells as i128)),
-        ("queries_checked", Value::Int(queries as i128)),
-        ("sql_statements_checked", Value::Int(statements as i128)),
+        ("cells_checked", Value::Int(total.cells as i128)),
+        ("queries_checked", Value::Int(total.queries as i128)),
+        ("sql_statements_checked", Value::Int(total.statements as i128)),
+        ("ingest_barriers_checked", Value::Int(total.ingest_barriers as i128)),
+        ("ingest_cells_checked", Value::Int(total.ingest_cells as i128)),
         ("diverged", Value::Str(diverged.to_string())),
         ("snapshot_lane", Value::Str(args.snapshot.to_string())),
+        ("ingest_lane", Value::Str(args.ingest.to_string())),
         (
             "by_loss",
             Value::Obj(
@@ -156,12 +187,14 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("cannot write summary: {e}"),
     }
     println!(
-        "fuzz_check: seed {} cases {}: {} cells, {} queries, {} SQL statements checked in {:.1?}{}",
+        "fuzz_check: seed {} cases {}: {} cells, {} queries, {} SQL statements, \
+         {} ingest barriers checked in {:.1?}{}",
         args.seed,
         args.cases,
-        cells,
-        queries,
-        statements,
+        total.cells,
+        total.queries,
+        total.statements,
+        total.ingest_barriers,
         start.elapsed(),
         if diverged { " — DIVERGED" } else { ", no divergence" }
     );

@@ -1,0 +1,259 @@
+//! Closed-loop streaming-ingestion benchmark for `tabula-ingest`.
+//!
+//! A paced producer feeds a synthetic NYC-taxi stream into a running
+//! [`Ingestor`] at a target rate (default 25 k rows/s, `--rate` up to
+//! 100 k), batch by batch, while `--clients` reader threads replay a
+//! dashboard workload against the same [`Server`] without ever blocking
+//! on a fold. The maintenance thread folds pending batches into fresh
+//! cube generations in the background; at the end the producer flushes
+//! the log so every acked row is visible.
+//!
+//! Emits `BENCH_ingest.json` (target vs achieved append rate, folds,
+//! fold p50/p99 wall time, p50/p99 freshness lag — append-ack to
+//! readable — and reader qps sustained during ingestion) via the
+//! standard run summary, honouring `TABULA_BENCH_OUT` and the
+//! `TABULA_INGEST_*` knobs.
+//!
+//! Run with `cargo run --release -p tabula-bench --bin ingest_bench`
+//! (`--quick` shrinks the feed for CI).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tabula_bench::{default_rows, taxi_table, write_run_summary, SEED};
+use tabula_core::loss::MeanLoss;
+use tabula_core::{MaterializationMode, SamplingCube, SamplingCubeBuilder};
+use tabula_data::{TaxiConfig, TaxiGenerator, Workload, CUBED_ATTRIBUTES};
+use tabula_ingest::{IngestConfig, Ingestor};
+use tabula_obs::Registry;
+use tabula_serve::{AnswerCache, Server};
+
+struct Args {
+    quick: bool,
+    /// Target append rate, rows per second.
+    rate: u64,
+    /// Feed duration, seconds.
+    seconds: u64,
+    /// Rows per appended batch.
+    batch: usize,
+    /// Concurrent reader threads.
+    clients: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, rate: 25_000, seconds: 10, batch: 1_000, clients: 4 };
+    let mut quick_requested = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+        };
+        match a.as_str() {
+            "--quick" => quick_requested = true,
+            "--rate" => args.rate = num("--rate"),
+            "--seconds" => args.seconds = num("--seconds"),
+            "--batch" => args.batch = num("--batch") as usize,
+            "--clients" => args.clients = num("--clients") as usize,
+            other => panic!(
+                "unknown argument {other:?} (expected --quick / --rate R / --seconds S / \
+                 --batch B / --clients N)"
+            ),
+        }
+    }
+    if quick_requested {
+        args.quick = true;
+        args.rate = args.rate.min(15_000);
+        args.seconds = args.seconds.min(2);
+    }
+    args
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let base_rows = if args.quick { 4_000 } else { default_rows() };
+    let feed_rows = (args.rate * args.seconds) as usize;
+    let attrs = &CUBED_ATTRIBUTES[..3];
+
+    println!(
+        "ingest_bench: {base_rows} base rows, {} rows/s x {} s feed ({} rows, {}-row batches), \
+         {} readers{}",
+        args.rate,
+        args.seconds,
+        feed_rows,
+        args.batch,
+        args.clients,
+        if args.quick { " [quick]" } else { "" }
+    );
+
+    let table = taxi_table(base_rows);
+    let registry = Arc::new(Registry::new());
+    let fare = table.schema().index_of("fare_amount").expect("taxi schema has fare_amount");
+    let loss = MeanLoss::new(fare);
+    let cube: Arc<SamplingCube> = Arc::new(
+        SamplingCubeBuilder::new(Arc::clone(&table), attrs, loss.clone(), 0.05)
+            .seed(SEED)
+            .mode(MaterializationMode::Tabula)
+            .build()
+            .expect("cube build succeeds")
+            .with_registry(&registry),
+    );
+    let srv = Arc::new(
+        Server::with_cache(Arc::clone(&cube), AnswerCache::from_env(), Arc::clone(&registry))
+            .expect("server build succeeds"),
+    );
+    let queries = Workload::new(attrs)
+        .generate(&table, if args.quick { 100 } else { 400 }, SEED ^ 0xF00D)
+        .expect("workload generation succeeds");
+
+    // Pre-materialize the feed (a disjoint seed, same relational shape) so
+    // row generation cost stays out of the producer's pacing loop.
+    let feed = TaxiGenerator::new(TaxiConfig { rows: feed_rows, seed: SEED ^ 0xFEED }).generate();
+    let feed: Vec<Vec<tabula_storage::Value>> = (0..feed.len()).map(|i| feed.row(i)).collect();
+
+    // The cube above was built with default Serfling parameters, so the
+    // refresh default matches; only the seed needs pinning.
+    let mut config = IngestConfig::from_env();
+    config.refresh.seed = SEED;
+    config.refresh.mode = MaterializationMode::Tabula;
+    let ingestor = Ingestor::start(Arc::clone(&srv), loss, config);
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let (reader_queries, appended_batches, feed_secs, drain_secs) = std::thread::scope(|s| {
+        // Readers: closed-loop dashboard sessions that must keep serving
+        // (cube swaps are epoch publications, never locks held over folds).
+        let readers: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let srv = &srv;
+                let stop = &stop;
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut served = 0u64;
+                    let mut i = c * 37;
+                    while !stop.load(Ordering::Relaxed) {
+                        let q = &queries[i % queries.len()];
+                        srv.query(&q.predicate).expect("serve query succeeds");
+                        served += 1;
+                        i += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Paced producer: batch b is due at started + b*batch/rate; sleep
+        // until its deadline, then append (blocking only on backpressure).
+        let mut appended = 0u64;
+        let mut fed = 0usize;
+        while fed < feed.len() {
+            let due = started + Duration::from_secs_f64(fed as f64 / args.rate as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let end = (fed + args.batch).min(feed.len());
+            ingestor.append(feed[fed..end].to_vec()).expect("append succeeds");
+            appended += 1;
+            fed = end;
+        }
+        let feed_secs = started.elapsed().as_secs_f64();
+
+        // Drain: fold everything still pending so the freshness histogram
+        // covers every acked row, then release the readers.
+        ingestor.flush().expect("flush succeeds");
+        let drain_secs = started.elapsed().as_secs_f64() - feed_secs;
+        stop.store(true, Ordering::Relaxed);
+        let reader_queries: u64 = readers.into_iter().map(|r| r.join().expect("reader ok")).sum();
+        (reader_queries, appended, feed_secs, drain_secs)
+    });
+    let total_secs = started.elapsed().as_secs_f64();
+
+    let stats = ingestor.shutdown().expect("pipeline halts cleanly");
+    let final_rows = srv.cube().table().len();
+    assert_eq!(stats.appended_rows as usize, feed_rows, "every feed row acked");
+    assert_eq!(final_rows, base_rows + feed_rows, "every acked row readable after flush");
+    assert!(stats.folds > 0, "at least one generation published");
+
+    let achieved = stats.appended_rows as f64 / feed_secs;
+    let reader_qps = reader_queries as f64 / total_secs;
+
+    println!();
+    println!(
+        "appended {} rows in {} batches over {:.2}s ({:.0} rows/s vs {} target), drained in {:.2}s",
+        stats.appended_rows, appended_batches, feed_secs, achieved, args.rate, drain_secs
+    );
+    println!(
+        "folds: {} generations ({} batches, {} rows), fold p50 {:.2}ms p99 {:.2}ms",
+        stats.folds,
+        stats.folded_batches,
+        stats.folded_rows,
+        stats.fold_p50_ns as f64 / 1e6,
+        stats.fold_p99_ns as f64 / 1e6
+    );
+    println!(
+        "freshness lag (append-ack to readable): p50 {:.2}ms p99 {:.2}ms",
+        stats.freshness_p50_ns as f64 / 1e6,
+        stats.freshness_p99_ns as f64 / 1e6
+    );
+    println!(
+        "readers: {} queries from {} clients, {:.0} qps sustained during ingestion, epoch {}",
+        reader_queries,
+        args.clients,
+        reader_qps,
+        srv.epoch()
+    );
+
+    // Per-query latency of the final generation, for a quick staleness-free
+    // sanity check that serving survived the churn.
+    let mut lat: Vec<u64> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            srv.query(&q.predicate).expect("serve query succeeds");
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    lat.sort_unstable();
+
+    use serde::Value;
+    let path = write_run_summary(
+        "ingest",
+        &registry.snapshot(),
+        &[
+            ("quick", Value::Bool(args.quick)),
+            ("base_rows", Value::Int(base_rows as i128)),
+            ("batch_rows", Value::Int(args.batch as i128)),
+            ("reader_clients", Value::Int(args.clients as i128)),
+            ("rate_target_rows_per_sec", Value::Int(args.rate as i128)),
+            ("rate_achieved_rows_per_sec", Value::Float(achieved)),
+            ("feed_secs", Value::Float(feed_secs)),
+            ("drain_secs", Value::Float(drain_secs)),
+            ("batches_appended", Value::Int(appended_batches as i128)),
+            ("batches_folded", Value::Int(stats.folded_batches as i128)),
+            ("rows_folded", Value::Int(stats.folded_rows as i128)),
+            ("generations", Value::Int(stats.folds as i128)),
+            ("final_table_rows", Value::Int(final_rows as i128)),
+            ("fold_p50_ns", Value::Int(stats.fold_p50_ns as i128)),
+            ("fold_p99_ns", Value::Int(stats.fold_p99_ns as i128)),
+            ("freshness_p50_ns", Value::Int(stats.freshness_p50_ns as i128)),
+            ("freshness_p99_ns", Value::Int(stats.freshness_p99_ns as i128)),
+            ("reader_queries", Value::Int(reader_queries as i128)),
+            ("reader_qps", Value::Float(reader_qps)),
+            ("final_query_p50_ns", Value::Int(quantile(&lat, 0.50) as i128)),
+            ("final_query_p99_ns", Value::Int(quantile(&lat, 0.99) as i128)),
+        ],
+    )
+    .expect("run summary written");
+    println!("summary: {}", path.display());
+}

@@ -250,16 +250,17 @@ pub fn diff_with_loss<L: AccuracyLoss + Clone>(
     Ok(report)
 }
 
-/// Byte-level identity of a built cube, for the thread-determinism check.
+/// Byte-level identity of a built cube, for the thread-determinism check
+/// (shared with the ingest lane's cross-thread barrier comparison).
 #[derive(Debug, Clone, PartialEq)]
-struct Fingerprint {
+pub(crate) struct Fingerprint {
     cells: Vec<(Vec<Option<u32>>, Vec<RowId>)>,
     global: Vec<RowId>,
     iceberg_cells: usize,
 }
 
 impl Fingerprint {
-    fn of(cube: &SamplingCube) -> Self {
+    pub(crate) fn of(cube: &SamplingCube) -> Self {
         let mut cells: Vec<(Vec<Option<u32>>, Vec<RowId>)> = cube
             .cube_table()
             .map(|(key, sid)| (key.codes.clone(), cube.sample(sid).as_ref().clone()))

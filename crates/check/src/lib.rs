@@ -49,6 +49,7 @@
 
 pub mod diff;
 pub mod generate;
+pub mod ingest;
 pub mod oracle;
 
 pub use diff::{
@@ -56,4 +57,5 @@ pub use diff::{
     Divergence, NaiveEval, Shrunk, MODES, THREAD_COUNTS,
 };
 pub use generate::{gen_case, gen_statement, gen_statements, gen_where_terms, CaseSpec};
+pub use ingest::{diff_ingest_case, IngestReport, INGEST_BARRIERS};
 pub use oracle::{naive_cube, naive_filter, naive_term_matches, LossSpec, NaiveCube};

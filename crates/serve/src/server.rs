@@ -173,6 +173,21 @@ impl Server {
         &self.cache
     }
 
+    /// The registry this server's metrics live in — the ingest pipeline
+    /// homes its own counters and freshness windows here so one scrape
+    /// (`\metrics`, Prometheus) covers serving and ingestion together.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Cache epoch of the currently served generation. Advances exactly
+    /// once per [`install`](Self::install) — observers (tests, the ingest
+    /// pipeline) use it to count generation swaps and to verify that the
+    /// answer cache is invalidated once per published generation.
+    pub fn epoch(&self) -> u64 {
+        self.generation.read().unwrap().epoch
+    }
+
     /// Materialized cells in the current generation's frozen index.
     pub fn indexed_cells(&self) -> usize {
         self.generation.read().unwrap().index.cells()

@@ -50,7 +50,7 @@ pub use packed::{KeyLayout, PackedCodes, PackedKeyBuf};
 pub use predicate::{CmpOp, Predicate, ScanKernel, ScanStats};
 pub use schema::{Field, Schema};
 pub use shared::{ColumnBuf, SharedSlice};
-pub use table::{RowId, Table, TableBuilder};
+pub use table::{validate_row, RowId, Table, TableBuilder};
 pub use types::{ColumnType, Point, Value};
 
 /// Errors produced by the storage layer.

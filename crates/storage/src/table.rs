@@ -305,6 +305,60 @@ impl Table {
     pub fn all_rows(&self) -> Vec<RowId> {
         (0..self.len as RowId).collect()
     }
+
+    /// A new table equal to `self` with `rows` appended at the end — the
+    /// streaming-ingest fold path. Existing column data is cloned (a
+    /// per-column memcpy; shared snapshot-backed columns copy-on-write)
+    /// and the dictionary codes of old rows are untouched: appends only
+    /// ever extend a first-seen-order dictionary. The result therefore
+    /// satisfies the incremental-refresh "old rows are a prefix"
+    /// contract by construction. Every row is validated before anything
+    /// is cloned, so a failed extend allocates nothing.
+    pub fn extend_rows(&self, rows: &[Vec<Value>]) -> Result<Table> {
+        for values in rows {
+            validate_row(&self.schema, values)?;
+        }
+        let mut columns = self.columns.clone();
+        for values in rows {
+            for (c, v) in columns.iter_mut().zip(values) {
+                let pushed = c.push(v);
+                debug_assert!(pushed, "type validated above");
+            }
+        }
+        let n = columns.len();
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+            len: self.len + rows.len(),
+            int_cat: (0..n).map(|_| OnceLock::new()).collect(),
+        })
+    }
+}
+
+/// Check that `values` forms a valid row for `schema`: matching arity and
+/// a compatible type in every position (`Int64` widens into `Float64`
+/// columns). Shared by [`TableBuilder::push_row`], [`Table::extend_rows`]
+/// and the ingest log's producer-side validation.
+pub fn validate_row(schema: &Schema, values: &[Value]) -> Result<()> {
+    if values.len() != schema.fields().len() {
+        return Err(StorageError::ArityMismatch {
+            expected: schema.fields().len(),
+            got: values.len(),
+        });
+    }
+    for (i, v) in values.iter().enumerate() {
+        let expected = schema.field(i).ty;
+        let ok = v.column_type() == expected
+            || (expected == ColumnType::Float64 && v.column_type() == ColumnType::Int64);
+        if !ok {
+            return Err(StorageError::TypeMismatch {
+                column: schema.field(i).name.clone(),
+                expected,
+                got: v.type_name(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Builder that accumulates rows and freezes them into a [`Table`].
@@ -330,26 +384,9 @@ impl TableBuilder {
 
     /// Append one row. All columns are extended or none are.
     pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
-        if values.len() != self.columns.len() {
-            return Err(StorageError::ArityMismatch {
-                expected: self.columns.len(),
-                got: values.len(),
-            });
-        }
         // Validate every value before mutating anything so a failed push
         // leaves the builder consistent.
-        for (i, v) in values.iter().enumerate() {
-            let expected = self.schema.field(i).ty;
-            let ok = v.column_type() == expected
-                || (expected == ColumnType::Float64 && v.column_type() == ColumnType::Int64);
-            if !ok {
-                return Err(StorageError::TypeMismatch {
-                    column: self.schema.field(i).name.clone(),
-                    expected,
-                    got: v.type_name(),
-                });
-            }
-        }
+        validate_row(&self.schema, values)?;
         for (c, v) in self.columns.iter_mut().zip(values) {
             let pushed = c.push(v);
             debug_assert!(pushed, "type validated above");
@@ -507,6 +544,35 @@ mod tests {
         // Dictionary reverse index must be rebuilt by deserialization.
         let cat = back.cat(0).unwrap();
         assert_eq!(cat.lookup(&Value::Str("credit".into())), Some(1));
+    }
+
+    #[test]
+    fn extend_rows_appends_and_keeps_codes_stable() {
+        let t = taxi_mini();
+        let ext = t
+            .extend_rows(&[
+                vec!["credit".into(), 3i64.into(), 4.0.into(), Point::new(3.0, 3.0).into()],
+                vec!["voucher".into(), 1i64.into(), 2.5.into(), Point::new(4.0, 4.0).into()],
+            ])
+            .unwrap();
+        assert_eq!(ext.len(), 5);
+        // Old rows are an untouched prefix.
+        for r in 0..t.len() {
+            assert_eq!(ext.row(r), t.row(r));
+        }
+        // Existing dictionary codes are stable; new values extend the
+        // dictionary in first-seen order.
+        assert_eq!(ext.cat(0).unwrap().codes(), &[0, 1, 0, 1, 2]);
+        // A bad row is rejected up front (nothing half-appended).
+        assert!(t
+            .extend_rows(&[vec![
+                "cash".into(),
+                "oops".into(),
+                1.0.into(),
+                Point::new(0.0, 0.0).into(),
+            ]])
+            .is_err());
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

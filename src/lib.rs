@@ -14,6 +14,7 @@
 pub use tabula_baselines as baselines;
 pub use tabula_core as core;
 pub use tabula_data as data;
+pub use tabula_ingest as ingest;
 pub use tabula_obs as obs;
 pub use tabula_serve as serve;
 pub use tabula_sql as sql;
