@@ -18,6 +18,10 @@
 //! each case through the `tabula-ingest` pipeline barrier by barrier and
 //! requires the streamed cube to stay differentially equivalent to a
 //! from-scratch build on every prefix (the CI `ingest` job's sweep).
+//! `--encoding` rebuilds every case under `TABULA_ENCODING=off` and
+//! `force` and requires byte-identical fingerprints, iceberg sets and
+//! served answers (the CI `encoding` job's sweep). `--all` turns on
+//! every opt-in lane at once.
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -35,10 +39,18 @@ struct Args {
     no_shrink: bool,
     snapshot: bool,
     ingest: bool,
+    encoding: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 42, cases: 100, no_shrink: false, snapshot: false, ingest: false };
+    let mut args = Args {
+        seed: 42,
+        cases: 100,
+        no_shrink: false,
+        snapshot: false,
+        ingest: false,
+        encoding: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -51,10 +63,16 @@ fn parse_args() -> Args {
             "--no-shrink" => args.no_shrink = true,
             "--snapshot" => args.snapshot = true,
             "--ingest" => args.ingest = true,
+            "--encoding" => args.encoding = true,
+            "--all" => {
+                args.snapshot = true;
+                args.ingest = true;
+                args.encoding = true;
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: fuzz_check [--seed S] [--cases N] \
-                     [--no-shrink] [--snapshot] [--ingest]"
+                     [--no-shrink] [--snapshot] [--ingest] [--encoding] [--all]"
                 );
                 std::process::exit(2);
             }
@@ -96,6 +114,9 @@ fn main() -> ExitCode {
     // The snapshot lane (freeze → thaw → replay, byte-identical) roughly
     // doubles per-case cost, so it is opt-in.
     tabula_check::set_snapshot_lane(args.snapshot);
+    // The encoding lane triples the build count per case (ambient, off,
+    // force), so it is opt-in as well.
+    tabula_check::set_encoding_lane(args.encoding);
     let registry = obs::Registry::new();
     let start = Instant::now();
 
@@ -172,6 +193,7 @@ fn main() -> ExitCode {
         ("diverged", Value::Str(diverged.to_string())),
         ("snapshot_lane", Value::Str(args.snapshot.to_string())),
         ("ingest_lane", Value::Str(args.ingest.to_string())),
+        ("encoding_lane", Value::Str(args.encoding.to_string())),
         (
             "by_loss",
             Value::Obj(

@@ -21,7 +21,8 @@ use tabula_core::{MaterializationMode, SampleProvenance, SamplingCube, SamplingC
 use tabula_serve::{AnswerCache, Server};
 use tabula_storage::cube::CellKey;
 use tabula_storage::{
-    kernel_mode, set_kernel_mode, CmpOp, KernelMode, Predicate, RowId, Table, Value,
+    encoding_mode, kernel_mode, set_encoding_mode, set_kernel_mode, CmpOp, EncodingMode,
+    KernelMode, Predicate, RowId, Table, Value,
 };
 
 /// Every materialization mode the diff engine sweeps.
@@ -58,6 +59,26 @@ pub fn set_snapshot_lane(on: bool) {
 /// Whether the snapshot lane is currently enabled.
 pub fn snapshot_lane() -> bool {
     SNAPSHOT_LANE.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Opt-in switch for the encoding lane ([`set_encoding_lane`]): when on,
+/// every case additionally rebuilds the table and cube under
+/// `TABULA_ENCODING=off` (plain reference) and `force` (maximum
+/// encoded-kernel coverage) and requires byte-identical fingerprints —
+/// cells, iceberg sets, sample row ids — plus serve-path identity on the
+/// forced build. Off by default; `fuzz_check --encoding` turns it on.
+static ENCODING_LANE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable or disable the encoding differential lane for subsequent
+/// [`diff_case`] / [`diff_with_loss`] calls (process-global, like the
+/// kernel-mode override).
+pub fn set_encoding_lane(on: bool) {
+    ENCODING_LANE.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the encoding lane is currently enabled.
+pub fn encoding_lane() -> bool {
+    ENCODING_LANE.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 /// Cells whose naive loss sits within this band of θ are excluded from
@@ -236,6 +257,58 @@ pub fn diff_with_loss<L: AccuracyLoss + Clone>(
     set_kernel_mode(prev_kernel);
     tabula_par::set_threads(0);
     scalar_pass?;
+
+    // The encoding-differential lane: rebuild the *table* (freezing
+    // re-applies the encoding mode) and every materialization mode under
+    // `TABULA_ENCODING=off` and `force`, and require byte identity with
+    // the first-pass build, which ran under the ambient (Auto) mode.
+    // Column encoding is a physical property — it must never change a
+    // cell set, an iceberg classification, or a sampled row id. The
+    // forced build additionally goes through the serve check, so served
+    // answers over encoded columns are compared too.
+    if encoding_lane() {
+        let prev_encoding = encoding_mode();
+        tabula_par::set_threads(THREAD_COUNTS[0]);
+        let encoding_pass = (|| {
+            for enc in [EncodingMode::Off, EncodingMode::Force] {
+                set_encoding_mode(enc);
+                let table = case.table();
+                for (m, &mode) in MODES.iter().enumerate() {
+                    let cube = SamplingCubeBuilder::new(
+                        Arc::clone(&table),
+                        &attr_refs,
+                        loss.clone(),
+                        case.theta,
+                    )
+                    .mode(mode)
+                    .serfling(case.serfling_config())
+                    .seed(case.build_seed)
+                    .parallelism(THREAD_COUNTS[0])
+                    .build()
+                    .map_err(|e| Divergence {
+                        check: "build",
+                        detail: format!("{mode:?} encoding={enc:?}: build failed: {e:?}"),
+                    })?;
+                    if Fingerprint::of(&cube) != fingerprints[0][m] {
+                        return Err(Divergence {
+                            check: "encoding_differential",
+                            detail: format!(
+                                "{mode:?}: cube built under TABULA_ENCODING={enc:?} \
+                                 differs from the ambient-mode build"
+                            ),
+                        });
+                    }
+                    if enc == EncodingMode::Force {
+                        check_serve(case, &cube, mode)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        set_encoding_mode(prev_encoding);
+        tabula_par::set_threads(0);
+        encoding_pass?;
+    }
 
     // Tabula and TabulaStar share the dry-run classifier verbatim, so
     // their materialized cell sets must match exactly (no borderline
@@ -990,6 +1063,31 @@ mod tests {
             Ok(())
         })();
         set_snapshot_lane(false);
+        result.unwrap();
+    }
+
+    /// The encoding lane must pass on clean pinned seeds — rebuilding
+    /// under `TABULA_ENCODING=off` and `force` is byte-identical to the
+    /// ambient build for every materialization mode — and must leave the
+    /// process-global encoding mode exactly as it found it: a leaked
+    /// Force would silently re-encode every later frozen table. (The
+    /// wide sweep runs in `fuzz_check --encoding`.)
+    #[test]
+    fn encoding_lane_round_trips_pinned_seeds_and_restores_the_mode() {
+        let _guard = DIFF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = encoding_mode();
+        set_encoding_mode(EncodingMode::Auto);
+        set_encoding_lane(true);
+        let result: Result<(), String> = (|| {
+            for seed in [1, 6, 9] {
+                let case = gen_case(seed);
+                diff_case(&case).map_err(|d| format!("seed {seed} ({}): {d}", case.loss.name()))?;
+            }
+            Ok(())
+        })();
+        set_encoding_lane(false);
+        assert_eq!(encoding_mode(), EncodingMode::Auto, "lane leaked an encoding override");
+        set_encoding_mode(prev);
         result.unwrap();
     }
 

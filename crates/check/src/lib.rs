@@ -53,8 +53,8 @@ pub mod ingest;
 pub mod oracle;
 
 pub use diff::{
-    diff_case, diff_sql_case, diff_with_loss, set_snapshot_lane, shrink, snapshot_lane, CaseReport,
-    Divergence, NaiveEval, Shrunk, MODES, THREAD_COUNTS,
+    diff_case, diff_sql_case, diff_with_loss, encoding_lane, set_encoding_lane, set_snapshot_lane,
+    shrink, snapshot_lane, CaseReport, Divergence, NaiveEval, Shrunk, MODES, THREAD_COUNTS,
 };
 pub use generate::{gen_case, gen_statement, gen_statements, gen_where_terms, CaseSpec};
 pub use ingest::{diff_ingest_case, IngestReport, INGEST_BARRIERS};

@@ -100,6 +100,44 @@ fn cardinalities(table: &Table, cols: &[usize]) -> Result<Vec<usize>> {
     cols.iter().map(|&c| Ok(table.cat(c)?.cardinality())).collect()
 }
 
+/// Load a column payload in whatever representation the snapshot holds:
+/// an `:rle` or `:for` block becomes a zero-copy encoded buffer (decoded
+/// lazily, only if a scalar path ever needs the plain rows); otherwise
+/// `plain` views the raw-words block.
+fn restore_buf<'s, T: tabula_storage::Codable>(
+    snap: &'s Snapshot,
+    base: &str,
+    plain: impl FnOnce(
+        tabula_store::BlockView<'s>,
+    ) -> tabula_store::Result<tabula_storage::ColumnBuf<T>>,
+) -> tabula_store::Result<tabula_storage::ColumnBuf<T>> {
+    let rle = format!("{base}:rle");
+    if snap.has_block(&rle) {
+        let enc = snap.block(&rle)?.encoded_rle::<T>()?;
+        return Ok(tabula_storage::EncodedBuf::new(enc).into());
+    }
+    let forb = format!("{base}:for");
+    if snap.has_block(&forb) {
+        let enc = snap.block(&forb)?.encoded_for::<T>()?;
+        return Ok(tabula_storage::EncodedBuf::new(enc).into());
+    }
+    plain(snap.block(base)?)
+}
+
+/// Largest dictionary code in a codes buffer, computed without decoding:
+/// RLE scans its run values, FOR scans packed ordinals, plain scans rows.
+fn max_code(codes: &tabula_storage::ColumnBuf<u32>) -> Option<u32> {
+    use tabula_storage::Encoded;
+    match codes.encoded() {
+        Some(Encoded::Rle { values, .. }) => values.iter().copied().max(),
+        Some(enc @ Encoded::For { .. }) => {
+            let v = enc.for_view().expect("For encoding always has a view");
+            (0..v.len).map(|r| v.get_ordinal(r) as u32).max()
+        }
+        None => codes.iter().copied().max(),
+    }
+}
+
 fn build_writer(cube: &SamplingCube, epoch: u64) -> Result<SnapshotWriter> {
     let table = cube.table();
     let schema_json = serde_json::to_string(table.schema())
@@ -113,13 +151,16 @@ fn build_writer(cube: &SamplingCube, epoch: u64) -> Result<SnapshotWriter> {
         let col = table.column(i);
         let rows = col.len() as u64;
         match tabula_store::encode_column(col) {
-            tabula_store::ColumnBlocks::Int64(data)
-            | tabula_store::ColumnBlocks::Float64(data)
-            | tabula_store::ColumnBlocks::Point(data) => {
+            tabula_store::ColumnBlocks::Int64(data) | tabula_store::ColumnBlocks::Float64(data) => {
+                let (suffix, bytes) = data.into_parts();
+                w.add_block(&format!("col:{i}:data{suffix}"), rows, &bytes)?;
+            }
+            tabula_store::ColumnBlocks::Point(data) => {
                 w.add_block(&format!("col:{i}:data"), rows, &data)?;
             }
             tabula_store::ColumnBlocks::Str { codes, dict } => {
-                w.add_block(&format!("col:{i}:codes"), rows, &codes)?;
+                let (suffix, bytes) = codes.into_parts();
+                w.add_block(&format!("col:{i}:codes{suffix}"), rows, &bytes)?;
                 let dict_entries = match col {
                     Column::Str { dict, .. } => dict.len() as u64,
                     _ => unreachable!("Str blocks from non-Str column"),
@@ -236,26 +277,31 @@ fn restore(snap: &Snapshot) -> Result<(SamplingCube, SnapshotInfo)> {
     let mut columns = Vec::with_capacity(schema.fields().len());
     for (i, field) in schema.fields().iter().enumerate() {
         let col = match field.ty {
-            ColumnType::Int64 => {
-                Column::Int64(snap.block(&format!("col:{i}:data"))?.shared_i64s()?.into())
-            }
+            ColumnType::Int64 => Column::Int64(restore_buf(snap, &format!("col:{i}:data"), |b| {
+                Ok(b.shared_i64s()?.into())
+            })?),
             ColumnType::Float64 => {
-                Column::Float64(snap.block(&format!("col:{i}:data"))?.shared_f64s()?.into())
+                Column::Float64(restore_buf(snap, &format!("col:{i}:data"), |b| {
+                    Ok(b.shared_f64s()?.into())
+                })?)
             }
             ColumnType::Point => {
                 Column::Point(snap.block(&format!("col:{i}:data"))?.shared_points()?.into())
             }
             ColumnType::Str => {
-                let codes = snap.block(&format!("col:{i}:codes"))?.shared_u32s()?;
+                let base = format!("col:{i}:codes");
+                let codes = restore_buf(snap, &base, |b| Ok(b.shared_u32s()?.into()))?;
                 let dict = snap.block(&format!("col:{i}:dict"))?.dict()?;
                 let n = dict.len() as u32;
-                if let Some(&bad) = codes.iter().find(|&&c| c >= n) {
+                // Encoded code blocks are bounds-checked on the encoded
+                // form — run values or packed ordinals — never decoded.
+                if let Some(bad) = max_code(&codes).filter(|&c| c >= n) {
                     return Err(bad_block(
-                        &format!("col:{i}:codes"),
+                        &base,
                         format!("code {bad} out of range for dictionary of {n} entries"),
                     ));
                 }
-                Column::Str { codes: codes.into(), dict }
+                Column::Str { codes, dict }
             }
         };
         columns.push(col);
@@ -536,6 +582,103 @@ mod tests {
         let bytes = c.snapshot_bytes(3).unwrap();
         let (back, _) = SamplingCube::from_snapshot_bytes(bytes.clone()).unwrap();
         assert_eq!(back.snapshot_bytes(3).unwrap(), bytes);
+    }
+
+    /// The example rows, each repeated `reps` times consecutively — long
+    /// runs in every cubed column — with every column frozen under `mode`.
+    fn repeated_table(reps: usize, mode: tabula_storage::EncodingMode) -> Arc<Table> {
+        let t = example_dcm_table();
+        let cols = (0..t.schema().fields().len())
+            .map(|i| {
+                let rep = |n: usize| (0..n).flat_map(|r| std::iter::repeat_n(r, reps));
+                let mut col = match t.column(i) {
+                    Column::Int64(b) => {
+                        Column::Int64(rep(b.len()).map(|r| b[r]).collect::<Vec<_>>().into())
+                    }
+                    Column::Float64(b) => {
+                        Column::Float64(rep(b.len()).map(|r| b[r]).collect::<Vec<_>>().into())
+                    }
+                    Column::Str { codes, dict } => Column::Str {
+                        codes: rep(codes.len()).map(|r| codes[r]).collect::<Vec<_>>().into(),
+                        dict: dict.clone(),
+                    },
+                    Column::Point(b) => {
+                        Column::Point(rep(b.len()).map(|r| b[r]).collect::<Vec<_>>().into())
+                    }
+                };
+                col.encode_for_freeze(mode);
+                col
+            })
+            .collect();
+        Arc::new(Table::from_columns(t.schema().clone(), cols).unwrap())
+    }
+
+    fn cube_over(t: Arc<Table>) -> SamplingCube {
+        let fare = t.schema().index_of("fare").unwrap();
+        SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], MeanLoss::new(fare), 0.10)
+            .seed(1)
+            .mode(MaterializationMode::Tabula)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn encoded_snapshot_shrinks_and_restores_byte_identically() {
+        let plain = cube_over(repeated_table(40, tabula_storage::EncodingMode::Off));
+        let forced = cube_over(repeated_table(40, tabula_storage::EncodingMode::Force));
+        let pb = plain.snapshot_bytes(3).unwrap();
+        let eb = forced.snapshot_bytes(3).unwrap();
+
+        // Clustered runs compress well past the CI gate's 30% floor.
+        assert!(
+            (eb.len() as f64) <= 0.7 * pb.len() as f64,
+            "encoded snapshot is {} bytes, plain is {}",
+            eb.len(),
+            pb.len()
+        );
+
+        // The encoded snapshot persists encoded blocks, suffix-named.
+        let snap = Snapshot::from_bytes(eb.clone()).unwrap();
+        let ncols = plain.table().schema().fields().len();
+        let encoded_blocks = (0..ncols)
+            .flat_map(|i| {
+                ["data", "codes"].into_iter().flat_map(move |kind| {
+                    [":rle", ":for"].into_iter().map(move |s| format!("col:{i}:{kind}{s}"))
+                })
+            })
+            .filter(|name| snap.has_block(name))
+            .count();
+        assert!(encoded_blocks > 0, "forced cube must persist encoded column blocks");
+
+        // Restore → re-freeze is byte-identical: the writer persists each
+        // column's *current* representation, never re-choosing.
+        let (back, _) = SamplingCube::from_snapshot_bytes(eb.clone()).unwrap();
+        assert_eq!(back.snapshot_bytes(3).unwrap(), eb);
+
+        // Restored columns stay encoded — the snapshot's packed payloads
+        // are viewed in place, not expanded on load.
+        let restored = back.table();
+        let any_encoded = (0..ncols).any(|i| match restored.column(i) {
+            Column::Int64(b) => b.encoded().is_some(),
+            Column::Float64(b) => b.encoded().is_some(),
+            Column::Str { codes, .. } => codes.encoded().is_some(),
+            Column::Point(_) => false,
+        });
+        assert!(any_encoded, "restored columns must keep their encoded form");
+
+        // Encoding is physical only: the plain and forced cubes agree on
+        // every materialized cell and every served answer.
+        let plain_cells: Vec<_> = plain.cube_table().collect();
+        let forced_cells: Vec<_> = forced.cube_table().collect();
+        assert_eq!(plain_cells, forced_cells);
+        for pred in [Predicate::eq("M", "cash"), Predicate::eq("M", "dispute"), Predicate::all()] {
+            let a = plain.query(&pred).unwrap();
+            let b = forced.query(&pred).unwrap();
+            let c = back.query(&pred).unwrap();
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.rows, c.rows);
+            assert_eq!(a.provenance, c.provenance);
+        }
     }
 
     #[test]

@@ -202,6 +202,45 @@ fn cube_is_identical_across_kernel_modes_and_thread_counts() {
     set_kernel_mode(prev);
 }
 
+/// The compressed-storage invariant: the cube is a pure function of the
+/// data — not of the column encoding, the kernel family, or the thread
+/// count. Sweep `TABULA_ENCODING={off,force,auto}` ×
+/// `TABULA_KERNELS={scalar,auto}` × threads={1,4}; every build must be
+/// byte-identical to the plain scalar single-threaded baseline, float
+/// bits included. The table is regenerated under each encoding mode so
+/// the freeze path (where encoding happens) is part of the sweep.
+#[test]
+fn cube_is_identical_across_encoding_modes_kernels_and_threads() {
+    use tabula_storage::{set_encoding_mode, set_kernel_mode, EncodingMode, KernelMode};
+    let prev_enc = tabula_storage::encoding_mode();
+    let prev_kern = tabula_storage::kernel_mode();
+    set_encoding_mode(EncodingMode::Off);
+    set_kernel_mode(KernelMode::ForceScalar);
+    let baseline = {
+        let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 8_000, seed: 47 }).generate());
+        fingerprint(&build(&table, 1))
+    };
+    assert!(!baseline.cells.is_empty());
+    for enc in [EncodingMode::Off, EncodingMode::Force, EncodingMode::Auto] {
+        set_encoding_mode(enc);
+        let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 8_000, seed: 47 }).generate());
+        for (kern, threads) in
+            [(KernelMode::ForceScalar, 4usize), (KernelMode::Auto, 1), (KernelMode::Auto, 4)]
+        {
+            set_kernel_mode(kern);
+            let got = fingerprint(&build(&table, threads));
+            assert_eq!(baseline.iceberg_cells, got.iceberg_cells, "{enc:?} {kern:?} x{threads}");
+            assert_eq!(baseline.global_sample, got.global_sample, "{enc:?} {kern:?} x{threads}");
+            assert_eq!(
+                baseline.cells, got.cells,
+                "cube differs under encoding={enc:?} kernels={kern:?} x{threads}"
+            );
+        }
+    }
+    set_kernel_mode(prev_kern);
+    set_encoding_mode(prev_enc);
+}
+
 #[test]
 fn provenance_counters_are_thread_count_independent() {
     let table = Arc::new(TaxiGenerator::new(TaxiConfig { rows: 6_000, seed: 23 }).generate());

@@ -1,6 +1,7 @@
 //! Typed columnar storage.
 
 use crate::dictionary::Dictionary;
+use crate::encoding::EncodingMode;
 use crate::shared::ColumnBuf;
 use crate::types::{ColumnType, Point, Value};
 use serde::{Deserialize, Serialize};
@@ -61,13 +62,13 @@ impl Column {
         }
     }
 
-    /// Number of rows.
+    /// Number of rows. Never decodes an encoded backing.
     pub fn len(&self) -> usize {
         match self {
-            Column::Int64(v) => v.len(),
-            Column::Float64(v) => v.len(),
-            Column::Str { codes, .. } => codes.len(),
-            Column::Point(v) => v.len(),
+            Column::Int64(v) => v.row_count(),
+            Column::Float64(v) => v.row_count(),
+            Column::Str { codes, .. } => codes.row_count(),
+            Column::Point(v) => v.row_count(),
         }
     }
 
@@ -211,6 +212,58 @@ impl Column {
         match self {
             Column::Str { codes, dict } => Some((codes, dict)),
             _ => None,
+        }
+    }
+
+    /// Borrow the integer backing buffer (runs/encoded form included),
+    /// if this is an integer column.
+    pub fn as_i64_buf(&self) -> Option<&ColumnBuf<i64>> {
+        match self {
+            Column::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the float backing buffer (runs/encoded form included), if
+    /// this is a float column.
+    pub fn as_f64_buf(&self) -> Option<&ColumnBuf<f64>> {
+        match self {
+            Column::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the dictionary-code backing buffer and dictionary
+    /// (runs/encoded form included), if this is a string column.
+    pub fn as_code_buf(&self) -> Option<(&ColumnBuf<u32>, &Dictionary)> {
+        match self {
+            Column::Str { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Re-encode the column's payload for a freeze under `mode` (see
+    /// [`crate::encoding`]): applied by `TableBuilder::finish`, a no-op
+    /// for already-encoded payloads and for columns the per-column
+    /// chooser leaves plain. `Point` columns never encode.
+    pub fn encode_for_freeze(&mut self, mode: EncodingMode) {
+        match self {
+            Column::Int64(v) => v.encode_in_place(mode),
+            Column::Float64(v) => v.encode_in_place(mode),
+            Column::Str { codes, .. } => codes.encode_in_place(mode),
+            Column::Point(_) => {}
+        }
+    }
+
+    /// Physical payload bytes a sequential scan of this column touches
+    /// (the encoded size when encoded, `rows × width` when plain;
+    /// dictionary strings excluded).
+    pub fn physical_bytes(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.physical_bytes(),
+            Column::Float64(v) => v.physical_bytes(),
+            Column::Str { codes, .. } => codes.physical_bytes(),
+            Column::Point(v) => v.physical_bytes(),
         }
     }
 }

@@ -30,6 +30,7 @@
 //! cube content, never on hash-map layout, kernel mode, or thread count.
 
 use crate::agg::AggState;
+use crate::encoding::RunsView;
 use crate::fx::FxHashMap;
 use crate::kernel;
 use crate::packed::{KeyLayout, PackedCodes, PackedKeyBuf};
@@ -312,17 +313,25 @@ where
     F: Fn(&mut S, RowId) + Sync,
 {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
-    let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
     let started = std::time::Instant::now();
     let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
     let layout = if kernel::vectorize() { KeyLayout::from_cardinalities(&cards) } else { None };
+    // Run-aligned scan: only when every grouping column exposes RLE runs
+    // — checked *before* `codes()`, which would force a decode.
+    let run_views: Option<Vec<RunsView<'_, u32>>> = cats.iter().map(|c| c.runs()).collect();
     let metrics = tabula_obs::global();
-    let out = match &layout {
-        Some(layout) => {
+    let out = match (&layout, run_views) {
+        (Some(layout), Some(runs)) if !runs.is_empty() => {
+            metrics.counter("cube.kernel.runs").inc();
+            finest_runs(table, layout, &runs, &make, &fold)
+        }
+        (Some(layout), _) => {
+            let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
             metrics.counter("cube.kernel.vectorized").inc();
             finest_vectorized(table, layout, &code_slices, &make, &fold)
         }
-        None => {
+        (None, _) => {
+            let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
             metrics.counter("cube.kernel.scalar").inc();
             finest_scalar(table, cols.len(), &code_slices, &make, &fold)
         }
@@ -421,8 +430,81 @@ where
             }
             (keys, states)
         });
-    // Slot-level ordered merge in ascending morsel order, then one decode
-    // at the end — the scan itself never touches `Vec<u32>` keys.
+    merge_packed_partials(layout, partials)
+}
+
+/// Run-aligned scan over RLE-encoded grouping columns: per morsel, walk
+/// the columns' runs in lockstep and split the morsel into maximal
+/// segments on which every grouping code is constant — one key encode and
+/// one slot probe per *segment* instead of per row. Rows still fold one
+/// at a time in ascending order (a per-run shortcut would change float
+/// bits), so per-state fold sequences, first-seen slot order, and the
+/// morsel merge are all identical to [`finest_vectorized`] /
+/// [`finest_scalar`]: the three kernels produce byte-identical maps.
+fn finest_runs<S, M, F>(
+    table: &Table,
+    layout: &KeyLayout,
+    runs: &[RunsView<'_, u32>],
+    make: &M,
+    fold: &F,
+) -> FxHashMap<Vec<u32>, S>
+where
+    S: AggState,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, RowId) + Sync,
+{
+    let pool = Pool::global();
+    let partials: Vec<(Vec<u64>, Vec<S>)> =
+        pool.par_chunks(table.len(), DEFAULT_MORSEL_ROWS, |range| {
+            let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut keys: Vec<u64> = Vec::new();
+            let mut states: Vec<S> = Vec::new();
+            // Per-column cursor at the run containing the morsel start.
+            let mut cursors: Vec<usize> = runs
+                .iter()
+                .map(|rv| rv.ends.partition_point(|&e| (e as usize) <= range.start))
+                .collect();
+            let mut scratch = vec![0u32; runs.len()];
+            let mut pos = range.start;
+            while pos < range.end {
+                let mut seg_end = range.end;
+                for (ci, rv) in runs.iter().enumerate() {
+                    scratch[ci] = rv.values[cursors[ci]];
+                    seg_end = seg_end.min(rv.ends[cursors[ci]] as usize);
+                }
+                let k = layout.encode(&scratch);
+                let slot = match slots.get(&k) {
+                    Some(&s) => s,
+                    None => {
+                        let s = keys.len() as u32;
+                        slots.insert(k, s);
+                        keys.push(k);
+                        states.push(make());
+                        s
+                    }
+                };
+                let state = &mut states[slot as usize];
+                for row in pos..seg_end {
+                    fold(state, row as RowId);
+                }
+                for (ci, rv) in runs.iter().enumerate() {
+                    if rv.ends[cursors[ci]] as usize == seg_end {
+                        cursors[ci] += 1;
+                    }
+                }
+                pos = seg_end;
+            }
+            (keys, states)
+        });
+    merge_packed_partials(layout, partials)
+}
+
+/// Slot-level ordered merge in ascending morsel order, then one decode at
+/// the end — the scan itself never touches `Vec<u32>` keys.
+fn merge_packed_partials<S: AggState>(
+    layout: &KeyLayout,
+    partials: Vec<(Vec<u64>, Vec<S>)>,
+) -> FxHashMap<Vec<u32>, S> {
     let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
     let mut keys: Vec<u64> = Vec::new();
     let mut states: Vec<S> = Vec::new();
@@ -773,6 +855,56 @@ mod tests {
         assert_eq!(CuboidMask(0b101).to_string(), "a0,a2");
         let key = CellKey::new(vec![Some(1), None]);
         assert_eq!(key.to_string(), "⟨1, *⟩");
+    }
+
+    /// The run-aligned finest scan must be *byte-identical* (float bits
+    /// included) to the vectorized and scalar kernels: folds happen per
+    /// row in ascending order in all three, so per-state addition
+    /// sequences match exactly. Kernels are invoked directly — no global
+    /// mode is touched.
+    #[test]
+    fn run_aligned_finest_scan_is_byte_identical() {
+        let schema = Schema::new(vec![
+            Field::new("a", ColumnType::Str),
+            Field::new("b", ColumnType::Int64),
+            Field::new("m", ColumnType::Float64),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for row in 0..1300usize {
+            let blk = row / 71;
+            b.push_row(&[
+                ["n", "s", "e", "w"][blk % 4].into(),
+                ((blk % 6) as i64).into(),
+                ((row % 13) as f64 * 0.1 + 0.01).into(),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        let mut cols: Vec<crate::column::Column> = Vec::new();
+        for i in 0..3 {
+            let mut c = t.column(i).clone();
+            c.encode_for_freeze(crate::encoding::EncodingMode::Force);
+            cols.push(c);
+        }
+        let t = Table::from_columns(t.schema().clone(), cols).unwrap();
+        let fares: Vec<f64> = t.column(2).as_f64_slice().unwrap().to_vec();
+        let fold = move |s: &mut SumCount, row: RowId| s.add(fares[row as usize]);
+        let cats: Vec<Cat<'_>> = (0..2).map(|c| t.cat(c).unwrap()).collect();
+        let runs: Vec<RunsView<'_, u32>> = cats.iter().map(|c| c.runs().unwrap()).collect();
+        let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
+        let layout = KeyLayout::from_cardinalities(&cards).unwrap();
+        let aligned = finest_runs(&t, &layout, &runs, &SumCount::default, &fold);
+        let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+        let vectorized = finest_vectorized(&t, &layout, &code_slices, &SumCount::default, &fold);
+        let scalar = finest_scalar(&t, 2, &code_slices, &SumCount::default, &fold);
+        for reference in [&vectorized, &scalar] {
+            assert_eq!(aligned.len(), reference.len());
+            for (k, s) in &aligned {
+                let r = &reference[k];
+                assert_eq!(s.count, r.count, "key {k:?}");
+                assert_eq!(s.sum.to_bits(), r.sum.to_bits(), "key {k:?}");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! path remains as the fallback (and the `TABULA_KERNELS=scalar`
 //! reference); both produce identical results.
 
+use crate::encoding::RunsView;
 use crate::fx::FxHashMap;
 use crate::kernel;
 use crate::packed::{KeyLayout, PackedCodes, PackedKeyBuf};
@@ -82,14 +83,79 @@ pub fn group_rows(table: &Table, cols: &[usize], rows: &[RowId]) -> Result<Group
 
 fn group_impl(table: &Table, cols: &[usize], src: RowSrc<'_>) -> Result<GroupedRows> {
     let cats: Vec<Cat<'_>> = cols.iter().map(|&c| table.cat(c)).collect::<Result<_>>()?;
-    let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
     let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
     let layout = if kernel::vectorize() { KeyLayout::from_cardinalities(&cards) } else { None };
+    // Run-aligned grouping: full-table scans where every grouping column
+    // exposes RLE runs — checked *before* `codes()`, which would force a
+    // decode of an encoded column.
+    if let (Some(layout), RowSrc::All(n)) = (&layout, &src) {
+        let run_views: Option<Vec<RunsView<'_, u32>>> = cats.iter().map(|c| c.runs()).collect();
+        if let Some(runs) = run_views {
+            if !runs.is_empty() {
+                tabula_obs::global().counter("group.kernel.runs").inc();
+                return Ok(GroupedRows { groups: group_runs(layout, &runs, *n) });
+            }
+        }
+    }
+    let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
     let groups = match &layout {
         Some(layout) => group_vectorized(layout, &code_slices, &src),
         None => group_scalar(cols.len(), &code_slices, &src),
     };
     Ok(GroupedRows { groups })
+}
+
+/// Run-aligned grouping over RLE-encoded columns: per morsel, walk the
+/// columns' runs in lockstep and split the morsel into maximal segments
+/// of constant key — one key encode and one slot probe per *segment*,
+/// with members appended as a whole row range. Segment order is row
+/// order, so first-seen group order, member order, and the morsel merge
+/// are identical to [`group_vectorized`] / [`group_scalar`].
+fn group_runs(
+    layout: &KeyLayout,
+    runs: &[RunsView<'_, u32>],
+    len: usize,
+) -> FxHashMap<Vec<u32>, Vec<RowId>> {
+    let pool = Pool::global();
+    let partials: Vec<(Vec<u64>, Vec<Vec<RowId>>)> =
+        pool.par_chunks(len, DEFAULT_MORSEL_ROWS, |range| {
+            let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
+            let mut keys: Vec<u64> = Vec::new();
+            let mut members: Vec<Vec<RowId>> = Vec::new();
+            let mut cursors: Vec<usize> = runs
+                .iter()
+                .map(|rv| rv.ends.partition_point(|&e| (e as usize) <= range.start))
+                .collect();
+            let mut scratch = vec![0u32; runs.len()];
+            let mut pos = range.start;
+            while pos < range.end {
+                let mut seg_end = range.end;
+                for (ci, rv) in runs.iter().enumerate() {
+                    scratch[ci] = rv.values[cursors[ci]];
+                    seg_end = seg_end.min(rv.ends[cursors[ci]] as usize);
+                }
+                let k = layout.encode(&scratch);
+                let slot = match slots.get(&k) {
+                    Some(&s) => s,
+                    None => {
+                        let s = keys.len() as u32;
+                        slots.insert(k, s);
+                        keys.push(k);
+                        members.push(Vec::new());
+                        s
+                    }
+                };
+                members[slot as usize].extend(pos as RowId..seg_end as RowId);
+                for (ci, rv) in runs.iter().enumerate() {
+                    if rv.ends[cursors[ci]] as usize == seg_end {
+                        cursors[ci] += 1;
+                    }
+                }
+                pos = seg_end;
+            }
+            (keys, members)
+        });
+    merge_packed_members(layout, partials)
 }
 
 /// Chunked grouping on bit-packed `u64` keys: per morsel, each chunk packs
@@ -134,6 +200,15 @@ fn group_vectorized(
             }
             (keys, members)
         });
+    merge_packed_members(layout, partials)
+}
+
+/// Merge per-morsel packed partials in ascending morsel order, then
+/// decode each `u64` key once at the end.
+fn merge_packed_members(
+    layout: &KeyLayout,
+    partials: Vec<(Vec<u64>, Vec<Vec<RowId>>)>,
+) -> FxHashMap<Vec<u32>, Vec<RowId>> {
     let mut slots: FxHashMap<u64, u32> = FxHashMap::default();
     let mut keys: Vec<u64> = Vec::new();
     let mut members: Vec<Vec<RowId>> = Vec::new();
@@ -290,6 +365,39 @@ mod tests {
         let codes = project_codes(&t, &[0, 1], &[0, 3]).unwrap();
         let keys: Vec<&[u32]> = codes.keys().collect();
         assert_eq!(keys, vec![&[0, 0][..], &[2, 2][..]]);
+    }
+
+    /// The run-aligned kernel must produce groups identical to both the
+    /// vectorized (decoded) and scalar kernels — first-seen order and
+    /// member order included. Kernels are invoked directly, so no global
+    /// mode is touched.
+    #[test]
+    fn run_aligned_grouping_matches_decoded_kernels() {
+        let schema =
+            Schema::new(vec![Field::new("a", ColumnType::Str), Field::new("b", ColumnType::Int64)]);
+        let mut b = TableBuilder::new(schema);
+        for row in 0..1500usize {
+            let blk = row / 53;
+            b.push_row(&[["x", "y", "z"][blk % 3].into(), ((blk % 5) as i64).into()]).unwrap();
+        }
+        let t = b.finish();
+        let mut cols: Vec<crate::column::Column> = Vec::new();
+        for i in 0..2 {
+            let mut c = t.column(i).clone();
+            c.encode_for_freeze(crate::encoding::EncodingMode::Force);
+            cols.push(c);
+        }
+        let t = Table::from_columns(t.schema().clone(), cols).unwrap();
+        let cats: Vec<Cat<'_>> = (0..2).map(|c| t.cat(c).unwrap()).collect();
+        let runs: Vec<RunsView<'_, u32>> = cats.iter().map(|c| c.runs().unwrap()).collect();
+        let cards: Vec<usize> = cats.iter().map(|c| c.cardinality()).collect();
+        let layout = KeyLayout::from_cardinalities(&cards).unwrap();
+        let aligned = group_runs(&layout, &runs, t.len());
+        let code_slices: Vec<&[u32]> = cats.iter().map(|c| c.codes()).collect();
+        let vectorized = group_vectorized(&layout, &code_slices, &RowSrc::All(t.len()));
+        let scalar = group_scalar(2, &code_slices, &RowSrc::All(t.len()));
+        assert_eq!(aligned, vectorized);
+        assert_eq!(aligned, scalar);
     }
 
     #[test]

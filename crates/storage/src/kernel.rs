@@ -133,6 +133,13 @@ impl SelectionVector {
         self.ids.extend(range.map(|r| r as u32));
     }
 
+    /// Append every row id in `range`, without clearing first — used by
+    /// run-encoded predicate terms that emit kept row *ranges* directly.
+    #[inline]
+    pub fn push_range(&mut self, range: std::ops::Range<usize>) {
+        self.ids.extend(range.map(|r| r as u32));
+    }
+
     /// Keep only the selected rows for which `keep` holds, preserving
     /// ascending order.
     #[inline]

@@ -28,6 +28,7 @@ pub mod agg;
 pub mod column;
 pub mod cube;
 pub mod dictionary;
+pub mod encoding;
 pub mod fx;
 pub mod group;
 pub mod join;
@@ -43,6 +44,9 @@ pub use agg::AggState;
 pub use column::Column;
 pub use cube::{CellKey, CuboidMask, Lattice};
 pub use dictionary::Dictionary;
+pub use encoding::{
+    decode_count, encoding_mode, set_encoding_mode, Codable, Encoded, EncodedBuf, EncodingMode,
+};
 pub use fx::{FxHashMap, FxHashSet};
 pub use group::{group_by, GroupedRows};
 pub use kernel::{chunk_rows, kernel_mode, set_kernel_mode, KernelMode, SelectionVector};

@@ -17,6 +17,7 @@
 //! mixed-type cases included).
 
 use crate::dictionary::Dictionary;
+use crate::encoding::{Codable, ForView};
 use crate::kernel::{self, SelectionVector};
 use crate::table::{RowId, Table};
 use crate::types::Value;
@@ -124,13 +125,32 @@ impl Predicate {
         let started = std::time::Instant::now();
         let vec_terms =
             if kernel::vectorize() { Some(compile_vectorized(&compiled, table)) } else { None };
-        let (rows, used, chunks) = match &vec_terms {
-            Some(terms) => (
-                filter_vectorized(table.len(), terms),
-                ScanKernel::Vectorized,
-                kernel::chunk_count(table.len(), DEFAULT_MORSEL_ROWS),
-            ),
-            None => (filter_scalar(table, &compiled), ScanKernel::Scalar, 0),
+        let (rows, used, chunks, bytes, runs, encoded_bytes) = match &vec_terms {
+            Some(terms) => {
+                let cost = scan_cost(terms);
+                let used = if cost.rle_terms > 0 {
+                    ScanKernel::Rle
+                } else if cost.for_terms > 0 {
+                    ScanKernel::For
+                } else {
+                    ScanKernel::Vectorized
+                };
+                (
+                    filter_vectorized(table.len(), terms),
+                    used,
+                    kernel::chunk_count(table.len(), DEFAULT_MORSEL_ROWS),
+                    cost.bytes,
+                    cost.runs,
+                    cost.encoded_bytes,
+                )
+            }
+            None => {
+                // The scalar reference dereferences every column, so it
+                // touches the decoded (plain) payload whatever the
+                // column's physical encoding.
+                let bytes = table.len() as u64 * decoded_row_bytes(&compiled, table);
+                (filter_scalar(table, &compiled), ScanKernel::Scalar, 0, bytes, 0, 0)
+            }
         };
         let metrics = tabula_obs::global();
         metrics.counter("predicate.scan_rows").add(table.len() as u64);
@@ -139,24 +159,21 @@ impl Predicate {
             .counter(match used {
                 ScanKernel::Vectorized => "predicate.kernel.vectorized",
                 ScanKernel::Scalar => "predicate.kernel.scalar",
+                ScanKernel::Rle => "predicate.kernel.rle",
+                ScanKernel::For => "predicate.kernel.for",
             })
             .inc();
-        // Bytes touched per row: one dictionary code (4 B) per compiled
-        // categorical-equality term, one typed value (8 B) otherwise. An
-        // estimate — short-circuiting terms touch less — but a stable,
-        // explainable one.
-        let row_bytes: u64 = compiled
-            .iter()
-            .map(|t| match t {
-                CompiledTerm::CatEq { .. } => 4,
-                CompiledTerm::General { .. } => 8,
-                CompiledTerm::Never => 0,
-            })
-            .sum();
+        if runs > 0 {
+            metrics.counter("scan.runs").add(runs);
+        }
+        if encoded_bytes > 0 {
+            metrics.counter("scan.encoded_bytes").add(encoded_bytes);
+        }
         let stats = ScanStats {
             rows_scanned: table.len() as u64,
             rows_matched: rows.len() as u64,
-            bytes_scanned: table.len() as u64 * row_bytes,
+            bytes_scanned: bytes,
+            runs_scanned: runs,
             chunks,
             kernel: used,
         };
@@ -224,9 +241,11 @@ fn filter_scalar(table: &Table, compiled: &[CompiledTerm]) -> Vec<RowId> {
     partials.concat()
 }
 
-/// Chunked columnar scan: per chunk, fill the selection vector with the
-/// chunk's rows, then let each term kernel narrow it in place. Surviving
-/// ids append in chunk (hence row) order.
+/// Chunked columnar scan: per chunk, the first term seeds the selection
+/// vector (run-encoded terms emit their kept row *ranges* directly, so a
+/// clustered scan never evaluates a per-row predicate), then each
+/// remaining term kernel narrows it in place. Surviving ids append in
+/// chunk (hence row) order.
 fn filter_vectorized(len: usize, terms: &[VecTerm<'_>]) -> Vec<RowId> {
     let chunk = kernel::chunk_rows();
     let pool = Pool::global();
@@ -236,12 +255,15 @@ fn filter_vectorized(len: usize, terms: &[VecTerm<'_>]) -> Vec<RowId> {
         let mut start = range.start;
         while start < range.end {
             let end = range.end.min(start + chunk);
-            sel.fill_range(start..end);
-            for term in terms {
-                term.apply(&mut sel);
+            match terms.first() {
+                Some(first) => first.apply_full(start..end, &mut sel),
+                None => sel.fill_range(start..end),
+            }
+            for term in terms.iter().skip(1) {
                 if sel.is_empty() {
                     break;
                 }
+                term.apply(&mut sel);
             }
             out.extend_from_slice(sel.as_slice());
             start = end;
@@ -258,8 +280,14 @@ pub struct ScanStats {
     pub rows_scanned: u64,
     /// Rows that matched the predicate.
     pub rows_matched: u64,
-    /// Estimated bytes of column data touched.
+    /// Physical bytes of column payload a full evaluation of every term
+    /// touches: the encoded payload size for run/frame-encoded columns,
+    /// `rows × value width` for plain ones. (Term short-circuiting can
+    /// touch less; this is the stable full-scan figure.)
     pub bytes_scanned: u64,
+    /// RLE runs the encoded terms processed (0 when no term ran on
+    /// run-encoded data).
+    pub runs_scanned: u64,
     /// Execution chunks the scan was carved into (0 for the scalar path,
     /// which iterates rows directly).
     pub chunks: u64,
@@ -275,6 +303,11 @@ pub enum ScanKernel {
     Scalar,
     /// Chunked columnar kernels over a selection vector.
     Vectorized,
+    /// Chunked kernels with at least one term evaluated per RLE run.
+    Rle,
+    /// Chunked kernels with at least one term evaluated on bit-packed
+    /// frame-of-reference deltas (and none on RLE runs).
+    For,
 }
 
 impl ScanKernel {
@@ -283,6 +316,8 @@ impl ScanKernel {
         match self {
             ScanKernel::Scalar => "scalar",
             ScanKernel::Vectorized => "vectorized",
+            ScanKernel::Rle => "rle",
+            ScanKernel::For => "for",
         }
     }
 }
@@ -309,10 +344,12 @@ impl CompiledTerm {
     }
 }
 
-/// A term lowered onto its column's native slice. Each variant replicates
-/// the exact row-at-a-time semantics of [`CompiledTerm::matches`] /
-/// [`compare`] for its (column type, literal type) pair; combinations
-/// `compare` deems incomparable lower to `Never`.
+/// A term lowered onto its column's native (possibly encoded) payload.
+/// Each variant replicates the exact row-at-a-time semantics of
+/// [`CompiledTerm::matches`] / [`compare`] for its (column type, literal
+/// type) pair; combinations `compare` deems incomparable lower to
+/// `Never`. Byte/run figures are the payload the variant touches over a
+/// full scan (see [`ScanStats::bytes_scanned`]).
 enum VecTerm<'t> {
     Never,
     CatEq { codes: &'t [u32], code: u32 },
@@ -323,6 +360,28 @@ enum VecTerm<'t> {
     // code* at compile time, then a per-row table lookup — the scalar path
     // allocates a `String` per row here.
     StrLut { codes: &'t [u32], lut: Vec<bool> },
+    // A term over an RLE column, any payload type: the comparison ran
+    // once per run at compile time, so a scan consults one bool per run
+    // — and when this is the leading term it emits kept row ranges
+    // without any per-row work.
+    RleKeep { keep: Vec<bool>, ends: &'t [u32], bytes: u64 },
+    // Terms over FOR bit-packed columns: per selected row, a shift/mask
+    // ordinal extraction — no decode, `width/8` bytes per row.
+    ForI64 { view: ForView<'t>, op: CmpOp, rhs: i64 },
+    ForI64AsF64 { view: ForView<'t>, op: CmpOp, rhs: f64 },
+    ForF64 { view: ForView<'t>, op: CmpOp, rhs: f64 },
+    ForCatEq { view: ForView<'t>, code: u32 },
+    ForStrLut { view: ForView<'t>, lut: Vec<bool> },
+}
+
+/// Evaluate a term once per RLE run, yielding the per-run keep table.
+fn rle_keep<'t, T: Copy>(
+    runs: crate::encoding::RunsView<'t, T>,
+    pred: impl Fn(T) -> bool,
+) -> VecTerm<'t> {
+    let keep = runs.values.iter().map(|&v| pred(v)).collect();
+    let bytes = (std::mem::size_of_val(runs.values) + runs.ends.len() * 4) as u64;
+    VecTerm::RleKeep { keep, ends: runs.ends, bytes }
 }
 
 fn compile_vectorized<'t>(compiled: &[CompiledTerm], table: &'t Table) -> Vec<VecTerm<'t>> {
@@ -332,28 +391,65 @@ fn compile_vectorized<'t>(compiled: &[CompiledTerm], table: &'t Table) -> Vec<Ve
             CompiledTerm::Never => VecTerm::Never,
             CompiledTerm::CatEq { col, code } => {
                 let cat = table.cat(*col).expect("compile() verified the column is categorical");
-                VecTerm::CatEq { codes: cat.codes(), code: *code }
+                let code = *code;
+                if let Some(runs) = cat.runs() {
+                    return rle_keep(runs, |c| c == code);
+                }
+                if let Some(view) = for_codes(table, *col) {
+                    return VecTerm::ForCatEq { view, code };
+                }
+                VecTerm::CatEq { codes: cat.codes(), code }
             }
             CompiledTerm::General { col, op, value } => {
                 let column = table.column(*col);
-                if let Some(data) = column.as_i64_slice() {
+                if let Some(data) = column.as_i64_buf() {
+                    let rle = data.runs();
+                    let fo = data.encoded().and_then(|e| e.for_view());
                     return match value {
-                        Value::Int64(rhs) => VecTerm::I64 { data, op: *op, rhs: *rhs },
-                        Value::Float64(rhs) => VecTerm::I64AsF64 { data, op: *op, rhs: *rhs },
+                        Value::Int64(rhs) => {
+                            let (op, rhs) = (*op, *rhs);
+                            match (rle, fo) {
+                                (Some(runs), _) => rle_keep(runs, |x| cmp_i64(op, x, rhs)),
+                                (None, Some(view)) => VecTerm::ForI64 { view, op, rhs },
+                                (None, None) => VecTerm::I64 { data, op, rhs },
+                            }
+                        }
+                        Value::Float64(rhs) => {
+                            let (op, rhs) = (*op, *rhs);
+                            match (rle, fo) {
+                                (Some(runs), _) => rle_keep(runs, |x| cmp_f64(op, x as f64, rhs)),
+                                (None, Some(view)) => VecTerm::ForI64AsF64 { view, op, rhs },
+                                (None, None) => VecTerm::I64AsF64 { data, op, rhs },
+                            }
+                        }
                         _ => VecTerm::Never,
                     };
                 }
-                if let Some(data) = column.as_f64_slice() {
+                if let Some(data) = column.as_f64_buf() {
                     // as_f64 widens Int64 literals; Str/Point have no
                     // float form, so compare() never matches them.
                     return match value.as_f64() {
-                        Some(rhs) => VecTerm::F64 { data, op: *op, rhs },
+                        Some(rhs) => {
+                            let op = *op;
+                            match (data.runs(), data.encoded().and_then(|e| e.for_view())) {
+                                (Some(runs), _) => rle_keep(runs, |x| cmp_f64(op, x, rhs)),
+                                (None, Some(view)) => VecTerm::ForF64 { view, op, rhs },
+                                (None, None) => VecTerm::F64 { data, op, rhs },
+                            }
+                        }
                         None => VecTerm::Never,
                     };
                 }
-                if let Some((codes, dict)) = column.as_str_codes() {
+                if let Some((codes, dict)) = column.as_code_buf() {
                     return match value {
-                        Value::Str(rhs) => VecTerm::StrLut { codes, lut: str_lut(dict, *op, rhs) },
+                        Value::Str(rhs) => {
+                            let lut = str_lut(dict, *op, rhs);
+                            match (codes.runs(), codes.encoded().and_then(|e| e.for_view())) {
+                                (Some(runs), _) => rle_keep(runs, |c| lut[c as usize]),
+                                (None, Some(view)) => VecTerm::ForStrLut { view, lut },
+                                (None, None) => VecTerm::StrLut { codes, lut },
+                            }
+                        }
                         _ => VecTerm::Never,
                     };
                 }
@@ -364,12 +460,136 @@ fn compile_vectorized<'t>(compiled: &[CompiledTerm], table: &'t Table) -> Vec<Ve
         .collect()
 }
 
+/// The FOR view of a *string* column's code payload, if that is how it
+/// is encoded. (Integer categorical attributes go through the cached
+/// `IntCatIndex`, whose expanded codes are always plain.)
+fn for_codes<'t>(table: &'t Table, col: usize) -> Option<ForView<'t>> {
+    table.column(col).as_code_buf().and_then(|(codes, _)| codes.encoded()?.for_view())
+}
+
+/// Scalar [`CmpOp`] evaluation on `i64`, matching [`retain_i64`].
+#[inline]
+fn cmp_i64(op: CmpOp, x: i64, rhs: i64) -> bool {
+    match op {
+        CmpOp::Eq => x == rhs,
+        CmpOp::Ne => x != rhs,
+        CmpOp::Lt => x < rhs,
+        CmpOp::Le => x <= rhs,
+        CmpOp::Gt => x > rhs,
+        CmpOp::Ge => x >= rhs,
+    }
+}
+
+/// Scalar [`CmpOp`] evaluation on `f64`, matching [`retain_f64`]'s
+/// partial-order semantics exactly: a `NaN` on either side matches
+/// nothing, `Ne` included.
+#[inline]
+fn cmp_f64(op: CmpOp, x: f64, rhs: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == rhs,
+        #[allow(clippy::double_comparisons)]
+        CmpOp::Ne => x < rhs || x > rhs,
+        CmpOp::Lt => x < rhs,
+        CmpOp::Le => x <= rhs,
+        CmpOp::Gt => x > rhs,
+        CmpOp::Ge => x >= rhs,
+    }
+}
+
+/// Aggregate cost of one compiled vectorized term list.
+#[derive(Default)]
+struct ScanCost {
+    bytes: u64,
+    runs: u64,
+    encoded_bytes: u64,
+    rle_terms: u32,
+    for_terms: u32,
+}
+
+/// Physical payload each term touches over a full scan.
+fn scan_cost(terms: &[VecTerm<'_>]) -> ScanCost {
+    let mut cost = ScanCost::default();
+    for t in terms {
+        match t {
+            VecTerm::Never => {}
+            VecTerm::CatEq { codes, .. } => cost.bytes += codes.len() as u64 * 4,
+            VecTerm::StrLut { codes, .. } => cost.bytes += codes.len() as u64 * 4,
+            VecTerm::I64 { data, .. } | VecTerm::I64AsF64 { data, .. } => {
+                cost.bytes += data.len() as u64 * 8;
+            }
+            VecTerm::F64 { data, .. } => cost.bytes += data.len() as u64 * 8,
+            VecTerm::RleKeep { keep, bytes, .. } => {
+                cost.bytes += bytes;
+                cost.encoded_bytes += bytes;
+                cost.runs += keep.len() as u64;
+                cost.rle_terms += 1;
+            }
+            VecTerm::ForI64 { view, .. }
+            | VecTerm::ForI64AsF64 { view, .. }
+            | VecTerm::ForF64 { view, .. }
+            | VecTerm::ForCatEq { view, .. }
+            | VecTerm::ForStrLut { view, .. } => {
+                let b = view.words.len() as u64 * 8;
+                cost.bytes += b;
+                cost.encoded_bytes += b;
+                cost.for_terms += 1;
+            }
+        }
+    }
+    cost
+}
+
+/// Decoded bytes per row the scalar reference touches per term: one
+/// dictionary code (4 B) for categorical equality and string terms, one
+/// typed value otherwise.
+fn decoded_row_bytes(compiled: &[CompiledTerm], table: &Table) -> u64 {
+    compiled
+        .iter()
+        .map(|t| match t {
+            CompiledTerm::CatEq { .. } => 4,
+            CompiledTerm::General { col, .. } => match table.column(*col).column_type() {
+                crate::types::ColumnType::Str => 4,
+                crate::types::ColumnType::Point => 16,
+                _ => 8,
+            },
+            CompiledTerm::Never => 0,
+        })
+        .sum()
+}
+
 /// Per-code match table for a string ordering term.
 fn str_lut(dict: &Dictionary, op: CmpOp, rhs: &str) -> Vec<bool> {
     (0..dict.len() as u32).map(|c| op.eval_ord(dict.decode(c).cmp(rhs))).collect()
 }
 
 impl VecTerm<'_> {
+    /// Seed `sel` with the rows of `range` this term keeps — the
+    /// chunk-leading position. A run-encoded term emits its kept row
+    /// *ranges* directly (one branch per run, zero per-row work on a
+    /// clustered scan); every other variant fills the range and narrows.
+    fn apply_full(&self, range: std::ops::Range<usize>, sel: &mut SelectionVector) {
+        match self {
+            VecTerm::Never => sel.clear(),
+            VecTerm::RleKeep { keep, ends, .. } => {
+                sel.clear();
+                let mut run = ends.partition_point(|&e| (e as usize) <= range.start);
+                let mut pos = range.start;
+                while pos < range.end {
+                    let run_end = (ends[run] as usize).min(range.end);
+                    if keep[run] {
+                        sel.push_range(pos..run_end);
+                    }
+                    pos = run_end;
+                    run += 1;
+                }
+            }
+            _ => {
+                sel.fill_range(range);
+                self.apply(sel);
+            }
+        }
+    }
+
     #[inline]
     fn apply(&self, sel: &mut SelectionVector) {
         match self {
@@ -381,6 +601,42 @@ impl VecTerm<'_> {
             }
             VecTerm::F64 { data, op, rhs } => retain_f64(sel, *op, *rhs, |r| data[r as usize]),
             VecTerm::StrLut { codes, lut } => sel.retain(|r| lut[codes[r as usize] as usize]),
+            VecTerm::RleKeep { keep, ends, .. } => {
+                // Selection ids are ascending, so a forward cursor over
+                // the runs suffices; seed it with a binary search at the
+                // first id (the selection may start mid-table).
+                let mut run = usize::MAX;
+                sel.retain(|r| {
+                    if run == usize::MAX {
+                        run = ends.partition_point(|&e| e <= r);
+                    } else {
+                        while ends[run] <= r {
+                            run += 1;
+                        }
+                    }
+                    keep[run]
+                });
+            }
+            VecTerm::ForI64 { view, op, rhs } => {
+                let (op, rhs) = (*op, *rhs);
+                sel.retain(|r| cmp_i64(op, i64::from_ordinal(view.get_ordinal(r as usize)), rhs));
+            }
+            VecTerm::ForI64AsF64 { view, op, rhs } => {
+                let (op, rhs) = (*op, *rhs);
+                sel.retain(|r| {
+                    cmp_f64(op, i64::from_ordinal(view.get_ordinal(r as usize)) as f64, rhs)
+                });
+            }
+            VecTerm::ForF64 { view, op, rhs } => {
+                let (op, rhs) = (*op, *rhs);
+                sel.retain(|r| cmp_f64(op, f64::from_ordinal(view.get_ordinal(r as usize)), rhs));
+            }
+            VecTerm::ForCatEq { view, code } => {
+                sel.retain(|r| u32::from_ordinal(view.get_ordinal(r as usize)) == *code);
+            }
+            VecTerm::ForStrLut { view, lut } => {
+                sel.retain(|r| lut[u32::from_ordinal(view.get_ordinal(r as usize)) as usize]);
+            }
         }
     }
 }
@@ -606,5 +862,128 @@ mod tests {
             }
         }
         set_kernel_mode(prev);
+    }
+
+    /// A clone of `t` with every encodable column force-encoded — built
+    /// without touching the global encoding mode, so parallel tests are
+    /// undisturbed. Force picks the smaller of RLE/FOR per column.
+    fn force_encoded(t: &Table) -> Table {
+        let cols = (0..t.schema().fields().len())
+            .map(|i| {
+                let mut c = t.column(i).clone();
+                c.encode_for_freeze(crate::encoding::EncodingMode::Force);
+                c
+            })
+            .collect();
+        Table::from_columns(t.schema().clone(), cols).unwrap()
+    }
+
+    /// 3 000 rows spanning every pushdown shape: `s` and `grp` cluster in
+    /// 97-row blocks (RLE; prime length so chunk boundaries fall mid-run),
+    /// `id` is distinct ascending (FOR), `s2` is a high-cardinality
+    /// unclustered string (FOR codes), `f` clusters with NaN blocks (RLE)
+    /// and `fd` holds distinct floats (FOR bit patterns).
+    fn run_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("s", ColumnType::Str),
+            Field::new("grp", ColumnType::Int64),
+            Field::new("id", ColumnType::Int64),
+            Field::new("s2", ColumnType::Str),
+            Field::new("f", ColumnType::Float64),
+            Field::new("fd", ColumnType::Float64),
+        ]);
+        let pay = ["cash", "credit", "dispute", "unknown"];
+        let mut b = TableBuilder::new(schema);
+        for row in 0..3000usize {
+            let block = row / 97;
+            let f = match block % 3 {
+                0 => 5.5,
+                1 => f64::NAN,
+                _ => -0.0,
+            };
+            b.push_row(&[
+                pay[block % pay.len()].into(),
+                ((block % 7) as i64).into(),
+                (1000 + row as i64).into(),
+                format!("v{}", row % 347).as_str().into(),
+                f.into(),
+                (0.5 + row as f64 * 0.25).into(),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    /// Every pushdown variant must agree with the row-at-a-time scalar
+    /// reference ([`Predicate::matches`]) on a force-encoded table —
+    /// RLE range emission, run-cursor narrowing, and FOR bit extraction,
+    /// across chunk boundaries, NaN runs, and `-0.0`.
+    #[test]
+    fn encoded_filters_agree_with_scalar_reference() {
+        let t = force_encoded(&run_table());
+        let preds = vec![
+            Predicate::eq("s", "cash"),
+            Predicate::eq("s", "credit").and("grp", CmpOp::Ge, 2i64),
+            Predicate::eq("grp", 3i64),
+            Predicate::all().and("grp", CmpOp::Ne, 4i64),
+            Predicate::all().and("id", CmpOp::Lt, 2500i64),
+            Predicate::all().and("id", CmpOp::Ge, 1500.5f64),
+            Predicate::eq("s2", "v123"),
+            Predicate::all().and("s2", CmpOp::Lt, "v2"),
+            Predicate::all().and("f", CmpOp::Eq, 5.5f64),
+            Predicate::all().and("f", CmpOp::Ne, 5.5f64),
+            Predicate::all().and("f", CmpOp::Ge, -0.0f64),
+            Predicate::all().and("f", CmpOp::Eq, f64::NAN),
+            Predicate::all().and("fd", CmpOp::Gt, 400.0f64),
+            Predicate::all().and("fd", CmpOp::Ne, 0.75f64),
+            Predicate::eq("s", "dispute").and("id", CmpOp::Lt, 2200i64).and("f", CmpOp::Gt, 0.0f64),
+        ];
+        for p in preds {
+            let expect: Vec<RowId> =
+                (0..t.len()).filter(|&r| p.matches(&t, r).unwrap()).map(|r| r as RowId).collect();
+            assert_eq!(p.filter(&t).unwrap(), expect, "pred={p:?}");
+        }
+    }
+
+    /// Stats over encoded scans report the run kernel, the runs walked,
+    /// and the *physical* (encoded) bytes — strictly fewer than a plain
+    /// scan of the same column would touch.
+    #[test]
+    fn encoded_scan_stats_report_kernel_runs_and_physical_bytes() {
+        let t = force_encoded(&run_table());
+        // Clustered string column: RLE pushdown.
+        let (rows, stats) = Predicate::eq("s", "cash").filter_with_stats(&t).unwrap();
+        assert!(!rows.is_empty());
+        assert_eq!(stats.kernel, ScanKernel::Rle);
+        assert!(stats.runs_scanned > 0);
+        assert!(stats.bytes_scanned < t.len() as u64 * 4, "encoded scan must beat 4 B/row");
+        // Distinct ascending ints: FOR pushdown, no runs.
+        let (rows, stats) =
+            Predicate::all().and("id", CmpOp::Lt, 2000i64).filter_with_stats(&t).unwrap();
+        assert_eq!(rows.len(), 1000);
+        assert_eq!(stats.kernel, ScanKernel::For);
+        assert_eq!(stats.runs_scanned, 0);
+        assert!(stats.bytes_scanned < t.len() as u64 * 8, "packed scan must beat 8 B/row");
+        // Mixed RLE + FOR terms report the RLE kernel (coarsest win).
+        let (_, stats) =
+            Predicate::eq("s", "cash").and("id", CmpOp::Ge, 1500i64).filter_with_stats(&t).unwrap();
+        assert_eq!(stats.kernel, ScanKernel::Rle);
+    }
+
+    /// An RLE leading term emits kept ranges; narrowing terms use the
+    /// run cursor. Both must agree with the same filter on the plain
+    /// (never-encoded) build of the same rows.
+    #[test]
+    fn encoded_and_plain_filters_agree() {
+        let plain = run_table();
+        let enc = force_encoded(&plain);
+        let preds = vec![
+            Predicate::eq("s", "unknown"),
+            Predicate::all().and("grp", CmpOp::Le, 3i64).and("s2", CmpOp::Ge, "v30"),
+            Predicate::all().and("f", CmpOp::Lt, 6.0f64).and("id", CmpOp::Ne, 1700i64),
+        ];
+        for p in preds {
+            assert_eq!(p.filter(&enc).unwrap(), p.filter(&plain).unwrap(), "pred={p:?}");
+        }
     }
 }

@@ -17,6 +17,7 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
+use crate::encoding::{Codable, Encoded, EncodedBuf, RunsView};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// An immutable `&[T]` view whose backing memory is kept alive by a
@@ -69,84 +70,156 @@ impl<T: fmt::Debug> fmt::Debug for SharedSlice<T> {
     }
 }
 
-/// A column's backing store: an owned, growable `Vec<T>` (built data) or
-/// a [`SharedSlice`] into a refcounted allocation (restored data).
+/// A column's backing store: an owned, growable `Vec<T>` (built data), a
+/// [`SharedSlice`] into a refcounted allocation (restored data), or an
+/// [`EncodedBuf`] holding an RLE/FOR payload (frozen data under
+/// `TABULA_ENCODING`, see [`crate::encoding`]).
 ///
-/// Reads go through `Deref<Target = [T]>`, identical for both variants.
-/// Mutation goes through [`ColumnBuf::to_mut`], which promotes a shared
-/// view to an owned copy first — so sharing is invisible to correctness
-/// and only ever an optimization.
+/// Reads go through `Deref<Target = [T]>`, identical for all variants —
+/// an encoded backing materializes its shared decode cache on first
+/// dereference, exactly once however many clones exist. Mutation goes
+/// through [`ColumnBuf::to_mut`], which promotes a shared view or an
+/// encoded payload to an owned copy first — so the backing kind is
+/// invisible to correctness and only ever an optimization. Kernels that
+/// can run on the encoded form ask for it explicitly via
+/// [`ColumnBuf::encoded`] / [`ColumnBuf::runs`] instead of dereferencing.
 #[derive(Clone, Debug)]
-pub enum ColumnBuf<T> {
+pub enum ColumnBuf<T: Codable> {
     /// Growable, exclusively owned data.
     Owned(Vec<T>),
     /// Immutable view into a shared allocation.
     Shared(SharedSlice<T>),
+    /// RLE/FOR-encoded payload with a lazy shared decode cache.
+    Encoded(EncodedBuf<T>),
 }
 
-impl<T> Deref for ColumnBuf<T> {
+impl<T: Codable> Deref for ColumnBuf<T> {
     type Target = [T];
     fn deref(&self) -> &[T] {
         match self {
             ColumnBuf::Owned(v) => v,
             ColumnBuf::Shared(s) => s,
+            ColumnBuf::Encoded(e) => e.decoded(),
         }
     }
 }
 
-impl<T: Clone> ColumnBuf<T> {
-    /// Mutable access, promoting a shared view to an owned copy first
-    /// (copy-on-write).
+impl<T: Codable> ColumnBuf<T> {
+    /// Mutable access, promoting a shared view or an encoded payload to
+    /// an owned copy first (copy-on-write / decode-on-write).
     pub fn to_mut(&mut self) -> &mut Vec<T> {
-        if let ColumnBuf::Shared(s) = self {
-            *self = ColumnBuf::Owned(s.to_vec());
+        match self {
+            ColumnBuf::Shared(s) => *self = ColumnBuf::Owned(s.to_vec()),
+            // `decoded()` fills the shared cache (at most one decode per
+            // payload, ever); the owned copy then detaches from it.
+            ColumnBuf::Encoded(e) => *self = ColumnBuf::Owned(e.decoded().to_vec()),
+            ColumnBuf::Owned(_) => {}
         }
         match self {
             ColumnBuf::Owned(v) => v,
-            ColumnBuf::Shared(_) => unreachable!("just promoted"),
+            _ => unreachable!("just promoted"),
         }
     }
-}
 
-impl<T> ColumnBuf<T> {
-    /// Spare capacity in rows: a shared view is not growable, so it
-    /// reports no headroom beyond its length.
+    /// Spare capacity in rows: shared and encoded backings are not
+    /// growable, so they report no headroom beyond their length.
     pub fn capacity(&self) -> usize {
         match self {
             ColumnBuf::Owned(v) => v.capacity(),
             ColumnBuf::Shared(s) => s.len(),
+            ColumnBuf::Encoded(e) => e.len(),
         }
+    }
+
+    /// Number of rows, without decoding an encoded backing.
+    pub fn row_count(&self) -> usize {
+        match self {
+            ColumnBuf::Owned(v) => v.len(),
+            ColumnBuf::Shared(s) => s.len(),
+            ColumnBuf::Encoded(e) => e.len(),
+        }
+    }
+
+    /// The encoded payload, if this buffer holds one.
+    #[inline]
+    pub fn encoded(&self) -> Option<&Encoded<T>> {
+        match self {
+            ColumnBuf::Encoded(e) => Some(e.encoded()),
+            _ => None,
+        }
+    }
+
+    /// The RLE runs, if this buffer is run-length encoded.
+    #[inline]
+    pub fn runs(&self) -> Option<RunsView<'_, T>> {
+        self.encoded().and_then(Encoded::runs)
+    }
+
+    /// Physical bytes a sequential scan of this buffer touches: the
+    /// encoded payload size when encoded, `len * size_of::<T>()` when
+    /// plain. (If the decode cache has already materialized, reads go
+    /// through the plain cache — callers that dereference should count
+    /// plain bytes instead.)
+    pub fn physical_bytes(&self) -> usize {
+        match self {
+            ColumnBuf::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            ColumnBuf::Shared(s) => s.len() * std::mem::size_of::<T>(),
+            ColumnBuf::Encoded(e) => e.encoded().encoded_bytes(),
+        }
+    }
+
+    /// Re-encode the buffer for a freeze under `mode`, replacing a plain
+    /// backing with an encoded one when [`crate::encoding::choose`]
+    /// picks a format. Already-encoded buffers are left untouched so a
+    /// thawed snapshot re-freezes byte-identically.
+    pub fn encode_in_place(&mut self, mode: crate::encoding::EncodingMode) {
+        use crate::encoding::{choose, encode_for, encode_rle, Choice};
+        if matches!(self, ColumnBuf::Encoded(_)) {
+            return;
+        }
+        let enc = match choose(self, mode) {
+            Choice::Plain => return,
+            Choice::Rle => encode_rle(self),
+            Choice::For => encode_for(self),
+        };
+        *self = ColumnBuf::Encoded(EncodedBuf::new(enc));
     }
 }
 
-impl<T> From<Vec<T>> for ColumnBuf<T> {
+impl<T: Codable> From<Vec<T>> for ColumnBuf<T> {
     fn from(v: Vec<T>) -> Self {
         ColumnBuf::Owned(v)
     }
 }
 
-impl<T> From<SharedSlice<T>> for ColumnBuf<T> {
+impl<T: Codable> From<SharedSlice<T>> for ColumnBuf<T> {
     fn from(s: SharedSlice<T>) -> Self {
         ColumnBuf::Shared(s)
     }
 }
 
-impl<T> Default for ColumnBuf<T> {
+impl<T: Codable> From<EncodedBuf<T>> for ColumnBuf<T> {
+    fn from(e: EncodedBuf<T>) -> Self {
+        ColumnBuf::Encoded(e)
+    }
+}
+
+impl<T: Codable> Default for ColumnBuf<T> {
     fn default() -> Self {
         ColumnBuf::Owned(Vec::new())
     }
 }
 
 // On the wire a ColumnBuf is indistinguishable from its element sequence
-// — shared and owned backings serialize identically, and deserialized
-// data is always owned.
-impl<T: Serialize> Serialize for ColumnBuf<T> {
+// — shared, encoded and owned backings serialize identically, and
+// deserialized data is always owned.
+impl<T: Codable + Serialize> Serialize for ColumnBuf<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
 }
 
-impl<T: Deserialize> Deserialize for ColumnBuf<T> {
+impl<T: Codable + Deserialize> Deserialize for ColumnBuf<T> {
     fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
         Vec::<T>::from_value(v).map(ColumnBuf::Owned)
     }
@@ -183,6 +256,40 @@ mod tests {
         assert_eq!(&*buf, &[1, 2, 3, 4]);
         assert_eq!(&*owner, &[1, 2, 3], "promotion must not touch the shared backing");
         assert!(matches!(buf, ColumnBuf::Owned(_)));
+    }
+
+    #[test]
+    fn encoded_buf_derefs_lazily_and_promotes_on_write() {
+        use crate::encoding::{decode_count, encode_rle};
+        let data: Vec<u32> = (0..2000).map(|i| i / 100).collect();
+        let mut buf: ColumnBuf<u32> = EncodedBuf::new(encode_rle(&data)).into();
+        let reader = buf.clone();
+        assert_eq!(buf.row_count(), 2000);
+        assert!(buf.physical_bytes() < 2000 * 4, "rle payload must be smaller than plain");
+        let before = decode_count();
+        assert_eq!(&*reader, &data[..]);
+        // `to_mut` reuses the clone's cached decode: exactly one decode
+        // total across deref + promotion.
+        buf.to_mut().push(99);
+        assert_eq!(decode_count() - before, 1, "deref + to_mut must share one decode");
+        assert_eq!(buf.row_count(), 2001);
+        assert_eq!(buf[2000], 99);
+        assert!(matches!(buf, ColumnBuf::Owned(_)));
+        // The encoded clone is untouched by the promotion.
+        assert_eq!(reader.row_count(), 2000);
+        assert!(matches!(reader, ColumnBuf::Encoded(_)));
+    }
+
+    #[test]
+    fn serde_round_trips_encoded_as_owned() {
+        use crate::encoding::encode_for;
+        let data = vec![100i64, 101, 102, 101];
+        let buf: ColumnBuf<i64> = EncodedBuf::new(encode_for(&data)).into();
+        let json = serde_json::to_string(&buf).unwrap();
+        assert_eq!(json, "[100,101,102,101]");
+        let back: ColumnBuf<i64> = serde_json::from_str(&json).unwrap();
+        assert!(matches!(back, ColumnBuf::Owned(_)));
+        assert_eq!(&*back, &data[..]);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use crate::column::Column;
 use crate::dictionary::Dictionary;
+use crate::encoding::RunsView;
 use crate::fx::FxHashMap;
 use crate::schema::Schema;
+use crate::shared::ColumnBuf;
 use crate::types::{ColumnType, Value};
 use crate::{Result, StorageError};
 use serde::{Deserialize, Serialize};
@@ -25,21 +27,53 @@ pub struct IntCatIndex {
     pub values: Vec<i64>,
     /// Encode table: original integer → code.
     pub index: FxHashMap<i64, u32>,
+    /// RLE of `codes` — (run codes, cumulative exclusive ends) — carried
+    /// over from an RLE-encoded source column so the run-aligned group
+    /// and cube kernels can consume integer attributes too.
+    pub code_runs: Option<(Vec<u32>, Vec<u32>)>,
 }
 
 impl IntCatIndex {
-    fn build(data: &[i64]) -> Self {
+    fn build(data: &ColumnBuf<i64>) -> Self {
+        if let Some(rv) = data.runs() {
+            return Self::build_from_runs(rv);
+        }
         let mut index = FxHashMap::default();
         let mut values = Vec::new();
         let mut codes = Vec::with_capacity(data.len());
-        for &v in data {
+        for &v in data.iter() {
             let code = *index.entry(v).or_insert_with(|| {
                 values.push(v);
                 (values.len() - 1) as u32
             });
             codes.push(code);
         }
-        IntCatIndex { codes, values, index }
+        IntCatIndex { codes, values, index, code_runs: None }
+    }
+
+    /// Build from an RLE view without decoding: one hash probe per run
+    /// instead of per row, and the expanded per-row codes fall out of the
+    /// run structure. First-seen order — hence every code — is identical
+    /// to the per-row build, because runs preserve row order.
+    fn build_from_runs(rv: RunsView<'_, i64>) -> Self {
+        let mut index = FxHashMap::default();
+        let mut values = Vec::new();
+        let mut run_codes = Vec::with_capacity(rv.values.len());
+        for &v in rv.values {
+            let code = *index.entry(v).or_insert_with(|| {
+                values.push(v);
+                (values.len() - 1) as u32
+            });
+            run_codes.push(code);
+        }
+        let len = rv.ends.last().copied().unwrap_or(0) as usize;
+        let mut codes = Vec::with_capacity(len);
+        let mut start = 0u32;
+        for (&c, &end) in run_codes.iter().zip(rv.ends) {
+            codes.resize(codes.len() + (end - start) as usize, c);
+            start = end;
+        }
+        IntCatIndex { codes, values, index, code_runs: Some((run_codes, rv.ends.to_vec())) }
     }
 }
 
@@ -47,18 +81,30 @@ impl IntCatIndex {
 /// decode/encode. `Str` columns expose their dictionary directly; `Int64`
 /// columns go through a cached [`IntCatIndex`].
 pub enum Cat<'t> {
-    /// Dictionary-encoded string column.
-    Str(&'t [u32], &'t Dictionary),
+    /// Dictionary-encoded string column. Holds the backing buffer, not a
+    /// decoded slice, so that constructing the view never forces an
+    /// encoded column's decode — only [`Cat::codes`] does.
+    Str(&'t ColumnBuf<u32>, &'t Dictionary),
     /// Lazily-indexed integer column.
     Int(&'t IntCatIndex),
 }
 
 impl<'t> Cat<'t> {
-    /// Per-row dense codes.
+    /// Per-row dense codes (decoding an encoded backing on first use;
+    /// the decode is cached, see [`crate::encoding::EncodedBuf`]).
     pub fn codes(&self) -> &'t [u32] {
         match self {
             Cat::Str(codes, _) => codes,
             Cat::Int(idx) => &idx.codes,
+        }
+    }
+
+    /// The attribute's codes as RLE runs, if available without decoding
+    /// — the entry point for the run-aligned kernels.
+    pub fn runs(&self) -> Option<RunsView<'t, u32>> {
+        match self {
+            Cat::Str(codes, _) => codes.runs(),
+            Cat::Int(idx) => idx.code_runs.as_ref().map(|(v, e)| RunsView { values: v, ends: e }),
         }
     }
 
@@ -405,12 +451,21 @@ impl TableBuilder {
         self.len == 0
     }
 
-    /// Freeze into an immutable [`Table`].
+    /// Freeze into an immutable [`Table`], applying the active
+    /// `TABULA_ENCODING` policy per column (see [`crate::encoding`]):
+    /// clustered or narrow-range payloads leave the builder RLE- or
+    /// FOR-encoded, everything else stays plain. Either way the frozen
+    /// rows read back bit-identically.
     pub fn finish(self) -> Table {
-        let n = self.columns.len();
+        let mode = crate::encoding::encoding_mode();
+        let mut columns = self.columns;
+        for c in &mut columns {
+            c.encode_for_freeze(mode);
+        }
+        let n = columns.len();
         Table {
             schema: self.schema,
-            columns: self.columns,
+            columns,
             len: self.len,
             int_cat: (0..n).map(|_| OnceLock::new()).collect(),
         }

@@ -6,9 +6,55 @@
 //! the writer, the reader's validators, and the property tests all agree
 //! on one byte layout.
 
-use tabula_storage::{Column, Dictionary};
+use tabula_storage::{Codable, Column, ColumnBuf, Dictionary, Encoded};
 
 use crate::{Result, StoreError};
+
+/// Byte length of the `[len u64][runs u64]` header of an RLE block.
+pub const RLE_HEADER: usize = 16;
+/// Byte length of the `[len u64][base u64][width u64]` header of a FOR
+/// block.
+pub const FOR_HEADER: usize = 24;
+
+/// Little-endian serialization of one fixed-width payload word — the
+/// bridge that lets the encoded-block writer stay generic over the
+/// column payload types (`u32` codes, `i64`/`f64` values, `u64` packed
+/// words). Floats write their bit patterns, so NaN payloads and signed
+/// zeros survive.
+pub trait Word: Copy {
+    /// Append this word's little-endian bytes.
+    fn put(self, out: &mut Vec<u8>);
+}
+
+impl Word for u32 {
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Word for u64 {
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Word for i64 {
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Word for f64 {
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+fn put_words<T: Word>(values: &[T], out: &mut Vec<u8>) {
+    for &v in values {
+        v.put(out);
+    }
+}
 
 /// Encode a `&[u32]` as little-endian bytes.
 pub fn encode_u32s(values: &[u32]) -> Vec<u8> {
@@ -47,32 +93,90 @@ pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
     out
 }
 
+/// One column data payload: the column's *current* physical
+/// representation, serialized verbatim. A column that froze encoded
+/// persists its encoded payload (no re-choosing — so a load/re-freeze
+/// cycle is byte-identical); a plain column persists raw words.
+#[derive(Debug)]
+pub enum ColumnData {
+    /// Raw little-endian words — block `col:<i>:data` / `col:<i>:codes`.
+    Plain(Vec<u8>),
+    /// Self-describing RLE block (`…:rle`):
+    /// `[len u64][runs u64][values: runs × width][ends: runs × u32]`.
+    Rle(Vec<u8>),
+    /// Self-describing FOR block (`…:for`):
+    /// `[len u64][base u64][width u64][words: ⌈len·width/64⌉ × u64]`.
+    For(Vec<u8>),
+}
+
+impl ColumnData {
+    /// The block-name suffix for this representation (`""`, `":rle"`,
+    /// `":for"`) and the payload bytes.
+    pub fn into_parts(self) -> (&'static str, Vec<u8>) {
+        match self {
+            ColumnData::Plain(b) => ("", b),
+            ColumnData::Rle(b) => (":rle", b),
+            ColumnData::For(b) => (":for", b),
+        }
+    }
+}
+
+/// Serialize one column buffer in its current representation.
+pub fn encode_column_data<T: Codable + Word>(buf: &ColumnBuf<T>) -> ColumnData {
+    match buf.encoded() {
+        Some(Encoded::Rle { len, values, ends }) => {
+            let mut out = Vec::with_capacity(
+                RLE_HEADER + values.len() * std::mem::size_of::<T>() + ends.len() * 4,
+            );
+            out.extend_from_slice(&(*len as u64).to_le_bytes());
+            out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+            put_words(values, &mut out);
+            put_words(ends, &mut out);
+            ColumnData::Rle(out)
+        }
+        Some(Encoded::For { len, base, width, words }) => {
+            let mut out = Vec::with_capacity(FOR_HEADER + words.len() * 8);
+            out.extend_from_slice(&(*len as u64).to_le_bytes());
+            out.extend_from_slice(&base.to_le_bytes());
+            out.extend_from_slice(&(*width as u64).to_le_bytes());
+            put_words(words, &mut out);
+            ColumnData::For(out)
+        }
+        None => {
+            let mut out = Vec::with_capacity(buf.row_count() * std::mem::size_of::<T>());
+            put_words(buf, &mut out);
+            ColumnData::Plain(out)
+        }
+    }
+}
+
 /// The encoded payload(s) of one [`Column`]. `Str` columns produce two
 /// blocks (codes + dictionary); every other type produces one.
 #[derive(Debug)]
 pub enum ColumnBlocks {
-    /// Raw i64 words.
-    Int64(Vec<u8>),
-    /// Raw f64 bit patterns.
-    Float64(Vec<u8>),
+    /// i64 words, plain or encoded.
+    Int64(ColumnData),
+    /// f64 bit patterns, plain or encoded.
+    Float64(ColumnData),
     /// Dictionary codes plus the dictionary block itself.
     Str {
-        /// Raw u32 codes, one per row.
-        codes: Vec<u8>,
+        /// u32 codes, one per row, plain or encoded.
+        codes: ColumnData,
         /// Dictionary block (see [`encode_dict`]).
         dict: Vec<u8>,
     },
-    /// Interleaved `x, y` f64 bit patterns, two words per point.
+    /// Interleaved `x, y` f64 bit patterns, two words per point. Point
+    /// columns never encode.
     Point(Vec<u8>),
 }
 
 /// Encode a column into its block payload(s).
 pub fn encode_column(col: &Column) -> ColumnBlocks {
     match col {
-        Column::Int64(v) => ColumnBlocks::Int64(encode_i64s(v)),
-        Column::Float64(v) => ColumnBlocks::Float64(encode_f64s(v)),
+        Column::Int64(v) => ColumnBlocks::Int64(encode_column_data(v)),
+        Column::Float64(v) => ColumnBlocks::Float64(encode_column_data(v)),
         Column::Str { codes, dict } => {
-            ColumnBlocks::Str { codes: encode_u32s(codes), dict: encode_dict(dict) }
+            ColumnBlocks::Str { codes: encode_column_data(codes), dict: encode_dict(dict) }
         }
         Column::Point(pts) => {
             let mut out = Vec::with_capacity(pts.len() * 16);

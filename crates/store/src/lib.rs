@@ -44,7 +44,7 @@ pub mod writer;
 
 pub use blocks::{
     decode_dict_strings, encode_column, encode_dict, encode_f64s, encode_i64s, encode_u32s,
-    encode_u64s, rebuild_dict, ColumnBlocks,
+    encode_u64s, rebuild_dict, ColumnBlocks, ColumnData,
 };
 pub use checksum::crc64;
 pub use format::{BlockDesc, Manifest, FOOTER_LEN, FORMAT_VERSION, HEADER_LEN, MAGIC};

@@ -16,7 +16,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use tabula_storage::{Point, SharedSlice};
+use tabula_storage::{Encoded, Point, SharedSlice};
 
 use crate::blocks::{decode_dict_strings, rebuild_dict};
 use crate::checksum::{crc64, crc64_combine};
@@ -258,6 +258,125 @@ impl<'a> BlockView<'a> {
     /// Zero-copy point view that owns a reference to the snapshot buffer.
     pub fn shared_points(&self) -> Result<SharedSlice<Point>> {
         Ok(self.shared(self.point_slice()?))
+    }
+
+    fn bad(&self, reason: String) -> StoreError {
+        StoreError::BadBlock { region: self.region.clone(), reason }
+    }
+
+    /// Typed view of `count` elements starting at byte `offset`.
+    fn typed_at<T: Copy>(&self, offset: usize, count: usize) -> Result<&'a [T]> {
+        let width = std::mem::size_of::<T>();
+        let end = count
+            .checked_mul(width)
+            .and_then(|n| n.checked_add(offset))
+            .filter(|&e| e <= self.bytes.len());
+        let Some(_) = end else {
+            return Err(self.bad(format!(
+                "{count} elements of {width} bytes at offset {offset} overrun payload of {} bytes",
+                self.bytes.len()
+            )));
+        };
+        // Safety: bounds checked above; the block start is 8-aligned and
+        // every encoded-payload offset (16 or 24 plus whole-element
+        // multiples) preserves the element alignment; the target types
+        // have no invalid bit patterns.
+        debug_assert_eq!((self.bytes.as_ptr() as usize + offset) % std::mem::align_of::<T>(), 0);
+        Ok(unsafe { std::slice::from_raw_parts(self.bytes[offset..].as_ptr() as *const T, count) })
+    }
+
+    fn header_u64(&self, at: usize) -> Result<u64> {
+        let end = at.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(self.bad(format!("header u64 at byte {at} overruns block")));
+        };
+        Ok(u64::from_le_bytes(self.bytes[at..end].try_into().unwrap()))
+    }
+
+    /// Validate and view a self-describing RLE block
+    /// (`[len u64][runs u64][values…][ends…]`) as a zero-copy
+    /// [`Encoded::Rle`] payload. Every structural fault — truncated
+    /// header, payload size mismatch, non-monotonic run ends, a last end
+    /// that does not equal the row count, a row count that disagrees
+    /// with the manifest — is a typed [`StoreError::BadBlock`].
+    pub fn encoded_rle<T: tabula_storage::Codable>(&self) -> Result<Encoded<T>> {
+        let len = self.header_u64(0)? as usize;
+        let runs = self.header_u64(8)? as usize;
+        let expect = runs
+            .checked_mul(std::mem::size_of::<T>() + 4)
+            .and_then(|n| n.checked_add(crate::blocks::RLE_HEADER));
+        if expect != Some(self.bytes.len()) {
+            return Err(
+                self.bad(format!("{runs} runs do not tile payload of {} bytes", self.bytes.len()))
+            );
+        }
+        if len as u64 != self.rows {
+            return Err(
+                self.bad(format!("header claims {len} rows, manifest records {}", self.rows))
+            );
+        }
+        if (len == 0) != (runs == 0) {
+            return Err(self.bad(format!("{runs} runs for {len} rows")));
+        }
+        let values: &[T] = self.typed_at(crate::blocks::RLE_HEADER, runs)?;
+        let ends: &[u32] =
+            self.typed_at(crate::blocks::RLE_HEADER + runs * std::mem::size_of::<T>(), runs)?;
+        let mut prev = 0u32;
+        for (i, &e) in ends.iter().enumerate() {
+            if e <= prev {
+                return Err(self.bad(format!("run end {e} at run {i} is not strictly increasing")));
+            }
+            prev = e;
+        }
+        if runs > 0 && prev as usize != len {
+            return Err(self.bad(format!("last run end {prev} does not equal row count {len}")));
+        }
+        Ok(Encoded::Rle { len, values: self.shared(values).into(), ends: self.shared(ends).into() })
+    }
+
+    /// Validate and view a self-describing FOR block
+    /// (`[len u64][base u64][width u64][words…]`) as a zero-copy
+    /// [`Encoded::For`] payload. Beyond structure, every row's ordinal is
+    /// checked to round-trip through `T` — which rejects, e.g., a
+    /// corrupted u32-code block whose base+delta exceeds `u32::MAX` —
+    /// so a block that loads can never decode to out-of-domain values.
+    pub fn encoded_for<T: tabula_storage::Codable>(&self) -> Result<Encoded<T>> {
+        let len = self.header_u64(0)? as usize;
+        let base = self.header_u64(8)?;
+        let width64 = self.header_u64(16)?;
+        if width64 > 64 {
+            return Err(self.bad(format!("delta width {width64} exceeds 64 bits")));
+        }
+        let width = width64 as u32;
+        let nwords = len
+            .checked_mul(width as usize)
+            .map(|bits| bits.div_ceil(64))
+            .ok_or_else(|| self.bad(format!("{len} rows × {width} bits overflows")))?;
+        let expect = nwords.checked_mul(8).and_then(|n| n.checked_add(crate::blocks::FOR_HEADER));
+        if expect != Some(self.bytes.len()) {
+            return Err(self.bad(format!(
+                "{len} rows × {width} bits do not tile payload of {} bytes",
+                self.bytes.len()
+            )));
+        }
+        if len as u64 != self.rows {
+            return Err(
+                self.bad(format!("header claims {len} rows, manifest records {}", self.rows))
+            );
+        }
+        let words: &[u64] = self.typed_at(crate::blocks::FOR_HEADER, nwords)?;
+        let enc = Encoded::For { len, base, width, words: self.shared(words).into() };
+        if let Some(view) = enc.for_view() {
+            for row in 0..len {
+                let ord = view.get_ordinal(row);
+                if T::from_ordinal(ord).to_ordinal() != ord {
+                    return Err(self.bad(format!(
+                        "ordinal {ord} at row {row} does not fit the column's value type"
+                    )));
+                }
+            }
+        }
+        Ok(enc)
     }
 
     /// Decode a dictionary block into its strings, in code order.

@@ -131,6 +131,9 @@ proptest! {
             ColumnBlocks::Str { codes, dict } => (codes, dict),
             other => panic!("expected Str blocks, got {other:?}"),
         };
+        // Plain (owned) codes serialize as a raw-words block: no suffix.
+        let (suffix, codes_block) = codes_block.into_parts();
+        prop_assert_eq!(suffix, "");
         let mut w = SnapshotWriter::new();
         w.add_block("codes", codes.len() as u64, &codes_block).unwrap();
         w.add_block("dict", 0, &dict_block).unwrap();

@@ -243,3 +243,69 @@ fn no_unprotected_byte_anywhere_in_the_file() {
         );
     }
 }
+
+/// A snapshot whose columns are all force-encoded, so the image carries
+/// `:rle` / `:for` blocks instead of raw column words.
+fn encoded_snapshot_bytes() -> Vec<u8> {
+    use tabula::storage::{EncodingMode, Table};
+    let t = example_dcm_table();
+    let cols = (0..t.schema().fields().len())
+        .map(|i| {
+            let mut c = t.column(i).clone();
+            c.encode_for_freeze(EncodingMode::Force);
+            c
+        })
+        .collect();
+    let t = Arc::new(Table::from_columns(t.schema().clone(), cols).unwrap());
+    let fare = t.schema().index_of("fare").unwrap();
+    let cube =
+        SamplingCubeBuilder::new(Arc::clone(&t), &["D", "C", "M"], MeanLoss::new(fare), 0.10)
+            .seed(1)
+            .mode(MaterializationMode::Tabula)
+            .build()
+            .unwrap();
+    cube.snapshot_bytes(42).unwrap()
+}
+
+#[test]
+fn encoded_block_corruption_is_typed_and_never_a_wrong_answer() {
+    let bytes = encoded_snapshot_bytes();
+    let clean = Snapshot::from_bytes(bytes.clone()).unwrap();
+    let enc_blocks: Vec<(String, u64, u64)> = clean
+        .manifest()
+        .blocks
+        .iter()
+        .filter(|b| b.name.ends_with(":rle") || b.name.ends_with(":for"))
+        .map(|b| (b.name.clone(), b.offset, b.len))
+        .collect();
+    assert!(!enc_blocks.is_empty(), "force-encoded cube must persist encoded blocks");
+    // The clean image restores: the encoded blocks are real and load.
+    drop(clean);
+    let (cube, _) = SamplingCube::from_snapshot_bytes(bytes.clone()).unwrap();
+    assert!(cube.materialized_cells() > 0);
+
+    for (name, offset, len) in enc_blocks {
+        // Truncating inside an encoded payload is detected before any
+        // column is built — a typed error, never a short column.
+        for cut in [offset as usize, (offset + len / 2) as usize, (offset + len) as usize - 1] {
+            let e = load_err(&bytes[..cut]);
+            assert!(
+                matches!(
+                    e,
+                    StoreError::Truncated { .. }
+                        | StoreError::BadMagic { .. }
+                        | StoreError::ChecksumMismatch { .. }
+                        | StoreError::BadVersion { .. }
+                ),
+                "{name} cut at {cut}: got {e}"
+            );
+        }
+        // A bit flip inside the encoded payload is pinned to the block.
+        let e = load_err(&flipped(&bytes, (offset + len / 2) as usize, 5));
+        let want = format!("block:{name}");
+        assert!(
+            matches!(&e, StoreError::ChecksumMismatch { region, .. } if *region == want),
+            "{name}: got {e}"
+        );
+    }
+}
